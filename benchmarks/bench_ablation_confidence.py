@@ -1,0 +1,14 @@
+"""Benchmark: reproduce the paper's Section IV-E confidence policy ablation.
+
+Biased (divide-by-two) vs balanced (minus-one) confidence update under
+DMDP: fewer recoveries for more predications.
+"""
+
+from repro.harness.experiments import ablation_confidence
+
+
+def test_ablation_confidence(benchmark, bench_runner, bench_report):
+    result = benchmark.pedantic(
+        lambda: ablation_confidence(bench_runner), rounds=1, iterations=1)
+    bench_report(result)
+    assert result.rows, "experiment produced no data"

@@ -1,0 +1,14 @@
+"""Benchmark: reproduce the paper's Section VI-g 4-issue study.
+
+DMDP-over-NoSQ at 8-wide vs 4-wide; the narrower window shrinks the
+low-confidence population and the gain.
+"""
+
+from repro.harness.experiments import ablation_issue_width
+
+
+def test_ablation_issue_width(benchmark, bench_runner, bench_report):
+    result = benchmark.pedantic(
+        lambda: ablation_issue_width(bench_runner), rounds=1, iterations=1)
+    bench_report(result)
+    assert result.rows, "experiment produced no data"

@@ -1,0 +1,14 @@
+"""Benchmark: reproduce the paper's Section VI-f register file pressure study.
+
+DMDP-over-baseline with 320 vs 160 physical registers; extended store
+register lifetimes cost some of the gain when registers are scarce.
+"""
+
+from repro.harness.experiments import ablation_regfile
+
+
+def test_ablation_regfile(benchmark, bench_runner, bench_report):
+    result = benchmark.pedantic(
+        lambda: ablation_regfile(bench_runner), rounds=1, iterations=1)
+    bench_report(result)
+    assert result.rows, "experiment produced no data"

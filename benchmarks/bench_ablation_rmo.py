@@ -1,0 +1,14 @@
+"""Benchmark: reproduce the paper's Section VI-g RMO consistency study.
+
+DMDP-over-NoSQ under relaxed memory order; stores commit out of order
+and forwarding from committed stores is prohibited.
+"""
+
+from repro.harness.experiments import ablation_rmo
+
+
+def test_ablation_rmo(benchmark, bench_runner, bench_report):
+    result = benchmark.pedantic(
+        lambda: ablation_rmo(bench_runner), rounds=1, iterations=1)
+    bench_report(result)
+    assert result.rows, "experiment produced no data"

@@ -1,0 +1,14 @@
+"""Benchmark: reproduce the paper's Section VI-g 512-entry ROB study.
+
+DMDP-over-NoSQ with a 512-entry ROB; longer-distance store-load
+communication increases the gain.
+"""
+
+from repro.harness.experiments import ablation_rob
+
+
+def test_ablation_rob(benchmark, bench_runner, bench_report):
+    result = benchmark.pedantic(
+        lambda: ablation_rob(bench_runner), rounds=1, iterations=1)
+    bench_report(result)
+    assert result.rows, "experiment produced no data"

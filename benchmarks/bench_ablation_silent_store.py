@@ -1,0 +1,14 @@
+"""Benchmark: reproduce the paper's Section IV-C.a silent-store policy ablation.
+
+Silent-store-aware predictor updates vs exception-only updates: the
+aware policy slashes re-executions (the hmmer double-edged sword).
+"""
+
+from repro.harness.experiments import ablation_silent_store
+
+
+def test_ablation_silent_store(benchmark, bench_runner, bench_report):
+    result = benchmark.pedantic(
+        lambda: ablation_silent_store(bench_runner), rounds=1, iterations=1)
+    bench_report(result)
+    assert result.rows, "experiment produced no data"

@@ -1,0 +1,14 @@
+"""Benchmark: TAGE-structured store distance predictor extension.
+
+The paper's Section VII notes a TAGE-like predictor can be tuned
+as a Store Distance Predictor; this measures it under DMDP.
+"""
+
+from repro.harness.experiments import ext_tage_predictor
+
+
+def test_ext_tage(benchmark, bench_runner, bench_report):
+    result = benchmark.pedantic(
+        lambda: ext_tage_predictor(bench_runner), rounds=1, iterations=1)
+    bench_report(result)
+    assert result.rows, "experiment produced no data"

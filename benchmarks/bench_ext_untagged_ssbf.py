@@ -1,0 +1,14 @@
+"""Benchmark: tagged vs untagged SSBF ablation.
+
+Quantifies the false re-executions Roth's untagged SSBF produces
+relative to the tagged T-SSBF of NoSQ/DMDP.
+"""
+
+from repro.harness.experiments import ext_untagged_ssbf
+
+
+def test_ext_untagged_ssbf(benchmark, bench_runner, bench_report):
+    result = benchmark.pedantic(
+        lambda: ext_untagged_ssbf(bench_runner), rounds=1, iterations=1)
+    bench_report(result)
+    assert result.rows, "experiment produced no data"

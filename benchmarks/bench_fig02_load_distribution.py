@@ -1,0 +1,17 @@
+"""Benchmark: reproduce the paper's Fig. 2 (NoSQ load distribution).
+
+Classifies every NoSQ load as direct / bypassing (cloaked) / delayed
+and reports the per-benchmark fractions.
+"""
+
+from repro.harness.experiments import fig02_load_distribution
+
+
+def test_fig02_load_distribution(benchmark, bench_runner, bench_report):
+    result = benchmark.pedantic(
+        lambda: fig02_load_distribution(bench_runner), rounds=1, iterations=1)
+    bench_report(result)
+    assert result.rows, "experiment produced no data"
+    fractions = {row[0]: row[1:4] for row in result.rows}
+    for name, (direct, bypass, delayed) in fractions.items():
+        assert abs(sum((direct, bypass, delayed)) - 1.0) < 1e-6, name

@@ -1,0 +1,14 @@
+"""Benchmark: reproduce the paper's Fig. 3 (delayed vs bypassing load execution time).
+
+Compares the average execution time of delayed and bypassing loads in
+NoSQ; the paper reports delayed loads ~7x slower overall.
+"""
+
+from repro.harness.experiments import fig03_delayed_vs_bypassing
+
+
+def test_fig03_delayed_vs_bypassing(benchmark, bench_runner, bench_report):
+    result = benchmark.pedantic(
+        lambda: fig03_delayed_vs_bypassing(bench_runner), rounds=1, iterations=1)
+    bench_report(result)
+    assert result.rows, "experiment produced no data"

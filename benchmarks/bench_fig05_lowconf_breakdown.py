@@ -1,0 +1,17 @@
+"""Benchmark: reproduce the paper's Fig. 5 (low-confidence prediction outcomes).
+
+Breaks low-confidence dependence predictions into IndepStore /
+DiffStore / Correct; IndepStore must dominate (paper Section III).
+"""
+
+from repro.harness.experiments import fig05_lowconf_breakdown
+
+
+def test_fig05_lowconf_breakdown(benchmark, bench_runner, bench_report):
+    result = benchmark.pedantic(
+        lambda: fig05_lowconf_breakdown(bench_runner), rounds=1, iterations=1)
+    bench_report(result)
+    assert result.rows, "experiment produced no data"
+    agg = result.aggregates
+    assert agg["DMDP-covered misprediction rate (%)"] <= \
+        agg["naive misprediction rate (%)"]

@@ -1,0 +1,18 @@
+"""Benchmark: reproduce the paper's Fig. 12 (IPC of NoSQ/DMDP/Perfect over baseline).
+
+The headline result: DMDP outperforms NoSQ on both suites and lands
+close to the Perfect oracle (paper: +7.17% INT, +4.48% FP).
+"""
+
+from repro.harness.experiments import fig12_speedup
+
+
+def test_fig12_speedup(benchmark, bench_runner, bench_report):
+    result = benchmark.pedantic(
+        lambda: fig12_speedup(bench_runner), rounds=1, iterations=1)
+    bench_report(result)
+    assert result.rows, "experiment produced no data"
+    agg = result.aggregates
+    assert agg["dmdp over nosq INT (%)"] > 0
+    assert agg["dmdp over nosq FP (%)"] > 0
+    assert agg["perfect geomean INT"] >= agg["dmdp geomean INT"] - 0.02

@@ -1,0 +1,14 @@
+"""Benchmark: reproduce the paper's Fig. 15 (energy-delay product).
+
+DMDP energy, delay and EDP normalised to NoSQ (paper: saves 8.5% INT
+and 5.1% FP EDP despite the extra predication MicroOps).
+"""
+
+from repro.harness.experiments import fig15_edp
+
+
+def test_fig15_edp(benchmark, bench_runner, bench_report):
+    result = benchmark.pedantic(
+        lambda: fig15_edp(bench_runner), rounds=1, iterations=1)
+    bench_report(result)
+    assert result.rows, "experiment produced no data"

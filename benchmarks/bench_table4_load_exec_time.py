@@ -1,0 +1,16 @@
+"""Benchmark: reproduce the paper's Table IV (average load execution time).
+
+Baseline vs DMDP average load execution time per benchmark; the paper
+reports 39.31 -> 31.15 cycles (>20% saving).
+"""
+
+from repro.harness.experiments import table4_load_exec_time
+
+
+def test_table4_load_exec_time(benchmark, bench_runner, bench_report):
+    result = benchmark.pedantic(
+        lambda: table4_load_exec_time(bench_runner), rounds=1, iterations=1)
+    bench_report(result)
+    assert result.rows, "experiment produced no data"
+    agg = result.aggregates
+    assert agg["measured average dmdp"] < agg["measured average baseline"]

@@ -1,0 +1,16 @@
+"""Benchmark: reproduce the paper's Table V (low-confidence load execution time).
+
+NoSQ (delayed) vs DMDP (predicated) execution time of low-confidence
+loads; the paper reports an average saving of 54.48%.
+"""
+
+from repro.harness.experiments import table5_lowconf_exec_time
+
+
+def test_table5_lowconf_exec_time(benchmark, bench_runner, bench_report):
+    result = benchmark.pedantic(
+        lambda: table5_lowconf_exec_time(bench_runner), rounds=1, iterations=1)
+    bench_report(result)
+    assert result.rows, "experiment produced no data"
+    if "average saving (%)" in result.aggregates:
+        assert result.aggregates["average saving (%)"] > 0

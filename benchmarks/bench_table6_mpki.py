@@ -1,0 +1,14 @@
+"""Benchmark: reproduce the paper's Table VI (memory dependence MPKI).
+
+Memory dependence mispredictions per 1k instructions under NoSQ and
+DMDP (full-recovery events only, as in the paper).
+"""
+
+from repro.harness.experiments import table6_mpki
+
+
+def test_table6_mpki(benchmark, bench_runner, bench_report):
+    result = benchmark.pedantic(
+        lambda: table6_mpki(bench_runner), rounds=1, iterations=1)
+    bench_report(result)
+    assert result.rows, "experiment produced no data"

@@ -1,0 +1,14 @@
+"""Benchmark: reproduce the paper's Table VII (re-execution retire stalls).
+
+Retire-stall cycles per 1k committed instructions caused by load
+re-execution; DMDP stalls more (wider vulnerability window).
+"""
+
+from repro.harness.experiments import table7_reexec_stalls
+
+
+def test_table7_reexec_stalls(benchmark, bench_runner, bench_report):
+    result = benchmark.pedantic(
+        lambda: table7_reexec_stalls(bench_runner), rounds=1, iterations=1)
+    bench_report(result)
+    assert result.rows, "experiment produced no data"

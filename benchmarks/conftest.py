@@ -1,0 +1,44 @@
+"""Shared fixtures for the figure/table reproduction benchmarks.
+
+All benchmark files share one :class:`ExperimentRunner`, so a full
+``pytest benchmarks/ --benchmark-only`` session simulates each
+(workload, model, parameters) point exactly once regardless of how many
+experiments consume it.
+
+``REPRO_BENCH_SCALE`` scales every workload's iteration count
+(default 0.6; use 1.0 for full-size runs).  Rendered reports are printed
+and written to ``benchmarks/results/<exp_id>.txt``.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.harness.runner import ExperimentRunner
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.6"))
+RESULTS_DIR = Path(__file__).parent / "results"
+
+_RUNNER = ExperimentRunner(scale=BENCH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def bench_runner():
+    """The process-wide memoising experiment runner."""
+    return _RUNNER
+
+
+@pytest.fixture(scope="session")
+def bench_report():
+    """Callable that renders, prints, and persists an ExperimentResult."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _report(result):
+        text = result.render()
+        print()
+        print(text)
+        (RESULTS_DIR / ("%s.txt" % result.exp_id)).write_text(text + "\n")
+        return result
+
+    return _report

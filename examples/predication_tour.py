@@ -1,0 +1,95 @@
+"""A guided tour of DMDP's predication machinery.
+
+Run with::
+
+    python examples/predication_tour.py
+
+Walks one workload (the paper's bzip2-style indirect-increment loop)
+through the DMDP pipeline and narrates what each structure did: the store
+distance predictor's confidence trajectory, how many loads were cloaked /
+predicated / read directly, the T-SSBF + SVW verification outcomes, and
+what the inserted CMP/CMOV MicroOps cost and bought.
+"""
+
+from repro import ModelKind
+from repro.harness import ExperimentRunner
+from repro.harness.reporting import format_table
+from repro.uarch import LoadKind, LowConfOutcome
+
+
+def banner(text):
+    print()
+    print(text)
+    print("-" * len(text))
+
+
+def main():
+    runner = ExperimentRunner()
+    workload = "bzip2"
+
+    banner("1. The MicroOp view (paper Fig. 8)")
+    print("""
+A low-confidence load   lw $9, 4($3)   cracks into:
+
+    ADDI P5, P4, 4        # AGI: address into its own physical register
+    LW   P6, (P5)         # read the cache anyway
+    CMP  P7, P5, P3       # predicate: does my address match the store's?
+    CMOV P8, P7, P1       # if it does, take the store's data register
+    CMOV P8, !P7, P6      # otherwise take the cache data
+
+Both CMOVs share P8 (producer counter = 2); only the selected one writes.
+""".strip())
+
+    banner("2. What each model does with the same trace")
+    rows = []
+    for model in (ModelKind.NOSQ, ModelKind.DMDP):
+        stats = runner.run(workload, model).stats
+        dist = stats.load_distribution()
+        rows.append([
+            model.value,
+            stats.ipc,
+            "%.1f%%" % (100 * dist[LoadKind.BYPASS.value]),
+            "%.1f%%" % (100 * dist[LoadKind.DELAYED.value]),
+            "%.1f%%" % (100 * dist[LoadKind.PREDICATED.value]),
+            stats.uops,
+        ])
+    print(format_table(
+        ["model", "IPC", "cloaked", "delayed", "predicated", "MicroOps"],
+        rows, title="%s under NoSQ vs DMDP" % workload))
+    print()
+    print("DMDP executes more MicroOps (the CMP/CMOV insertions) but the")
+    print("delayed-load population disappears entirely.")
+
+    banner("3. Where low-confidence predictions actually land (Fig. 5)")
+    stats = runner.run(workload, ModelKind.NOSQ).stats
+    total = max(1, sum(stats.lowconf_outcome.values()))
+    rows = [[outcome.value, stats.lowconf_outcome.get(outcome, 0),
+             "%.1f%%" % (100 * stats.lowconf_outcome.get(outcome, 0) / total)]
+            for outcome in LowConfOutcome]
+    print(format_table(["outcome", "count", "share"], rows))
+    print()
+    print("IndepStore dominating is DMDP's opportunity: predication turns")
+    print("those into plain cache reads with zero misprediction cost.")
+
+    banner("4. Verification and recovery (T-SSBF + SVW)")
+    rows = []
+    for model in (ModelKind.NOSQ, ModelKind.DMDP):
+        stats = runner.run(workload, model).stats
+        rows.append([model.value, stats.reexecutions,
+                     stats.silent_reexecutions, stats.dep_mispredictions,
+                     stats.dep_mpki])
+    print(format_table(
+        ["model", "re-executions", "silent", "violations", "MPKI"], rows))
+    print()
+    print("bzip2 is the paper's adversarial case: the colliding distance")
+    print("keeps changing, so DMDP mispredicts both older- and younger-")
+    print("store cases while NoSQ's delaying covers the older half")
+    print("(paper Section VI-d, Fig. 13) -- yet DMDP still wins on IPC:")
+    nosq_ipc = runner.run(workload, ModelKind.NOSQ).ipc
+    dmdp_ipc = runner.run(workload, ModelKind.DMDP).ipc
+    print("    NoSQ IPC %.3f   vs   DMDP IPC %.3f   (+%.1f%%)"
+          % (nosq_ipc, dmdp_ipc, 100 * (dmdp_ipc / nosq_ipc - 1)))
+
+
+if __name__ == "__main__":
+    main()

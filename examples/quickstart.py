@@ -1,0 +1,83 @@
+"""Quickstart: assemble a program, trace it, and compare the four models.
+
+Run with::
+
+    python examples/quickstart.py
+
+This builds the paper's motivating pattern (Fig. 1: ``x[ptr]++`` with
+pointers read from an array, so the store->load dependence is only
+*occasionally* colliding) and simulates it under the baseline store-queue
+core, NoSQ, DMDP, and the Perfect oracle.
+"""
+
+from repro import ModelKind, run_all_models
+from repro.isa import ProgramBuilder
+from repro.kernel import FunctionalCpu, trace_summary
+from repro.harness.reporting import format_table
+from repro.uarch import LoadKind
+from repro.workloads import zipf_like
+
+
+def build_pointer_update_kernel(iterations=2000, slots=16):
+    """The paper's Fig. 1 loop: for(i) { ptr = a[i]; x[ptr]++; }"""
+    b = ProgramBuilder()
+    b.data_label("ptrs")
+    b.word(*[p * 4 for p in zipf_like(iterations, slots, seed=42)])
+    b.data_label("x")
+    b.word(*([0] * slots))
+
+    b.label("main")
+    b.la("$s0", "ptrs")
+    b.la("$s1", "x")
+    b.li("$t0", 0)
+    b.li("$t9", iterations)
+    b.label("loop")
+    b.sll("$t1", "$t0", 2)
+    b.add("$t1", "$s0", "$t1")
+    b.lw("$t2", 0, "$t1")        # ptr = a[i]
+    b.add("$t3", "$s1", "$t2")
+    b.lw("$t4", 0, "$t3")        # x[ptr]      <- occasionally colliding
+    b.addi("$t4", "$t4", 1)
+    b.sw("$t4", 0, "$t3")        # x[ptr]++
+    b.addi("$t0", "$t0", 1)
+    b.blt("$t0", "$t9", "loop")
+    b.halt()
+    return b.build()
+
+
+def main():
+    program = build_pointer_update_kernel()
+
+    # 1. Functional execution produces the dynamic trace.
+    trace = FunctionalCpu(program).run_trace()
+    print("trace:", trace_summary(trace))
+    print()
+
+    # 2. The same trace runs through all four timing models.
+    results = run_all_models(program, trace)
+    baseline_ipc = results[ModelKind.BASELINE].ipc
+
+    rows = []
+    for model, stats in results.items():
+        rows.append([
+            model.value,
+            stats.ipc,
+            stats.ipc / baseline_ipc,
+            stats.dep_mpki,
+            stats.avg_load_exec_time,
+            stats.load_kind.get(LoadKind.DELAYED, 0),
+            stats.load_kind.get(LoadKind.PREDICATED, 0),
+        ])
+    print(format_table(
+        ["model", "IPC", "speedup", "dep MPKI", "avg load cyc",
+         "#delayed", "#predicated"],
+        rows, title="Occasionally-colliding pointer updates (paper Fig. 1)"))
+    print()
+    print("Things to notice:")
+    print(" * NoSQ delays the hard-to-predict loads until the predicted")
+    print("   store commits; DMDP predicates them instead (#predicated)")
+    print(" * DMDP's IPC lands between NoSQ and the Perfect oracle")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Store buffer sizing and consistency study (paper Fig. 14 / Section VI-g).
+
+Run with::
+
+    python examples/store_buffer_study.py
+
+Store-queue-free designs let loads skip the associative store-buffer
+search, so the buffer can grow cheaply; this study sweeps its size on the
+store-heavy ``lbm`` kernel under DMDP, and compares TSO with RMO draining.
+"""
+
+from repro import ModelKind
+from repro.harness import ExperimentRunner
+from repro.harness.reporting import format_table
+from repro.uarch import Consistency
+
+
+def main():
+    runner = ExperimentRunner()
+    workload = "lbm"
+
+    # --- Fig. 14: size sweep under TSO --------------------------------
+    rows = []
+    base_ipc = None
+    for size in (8, 16, 32, 64):
+        result = runner.run(workload, ModelKind.DMDP,
+                            store_buffer_entries=size)
+        if size == 16:
+            base_ipc = result.ipc
+        rows.append([size, result.ipc,
+                     result.stats.sb_full_stall_cycles,
+                     result.stats.reexec_stall_cycles])
+    for row in rows:
+        row.insert(2, row[1] / base_ipc)
+    print(format_table(
+        ["SB entries", "IPC", "vs 16-entry", "SB-full stalls",
+         "re-exec stalls"],
+        rows, title="%s: DMDP store-buffer size sweep (TSO)" % workload))
+    print()
+    print("Bigger buffers absorb store-miss bursts (fewer SB-full retire")
+    print("stalls); the paper reports lbm gaining the most (Fig. 14).")
+    print()
+
+    # --- Section VI-g: TSO vs RMO -------------------------------------
+    rows = []
+    for consistency in (Consistency.TSO, Consistency.RMO):
+        for model in (ModelKind.NOSQ, ModelKind.DMDP):
+            result = runner.run(workload, model, consistency=consistency)
+            rows.append([consistency.value, model.value, result.ipc,
+                         result.stats.sb_full_stall_cycles])
+    print(format_table(
+        ["consistency", "model", "IPC", "SB-full stalls"],
+        rows, title="%s: consistency model comparison" % workload))
+    print()
+    print("RMO drains the buffer out of order, overlapping store misses;")
+    print("DMDP's advantage over NoSQ persists under both models")
+    print("(paper: +7.67% INT / +4.08% FP under RMO).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,190 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``list``
+    Show the available workloads and experiments.
+``compare WORKLOAD``
+    Run one workload under all four models and print the comparison.
+``run WORKLOAD``
+    Run one workload under one model and print detailed statistics.
+``suite``
+    Run a model across the whole workload suite.
+``experiment EXP_ID``
+    Reproduce one paper figure/table (see ``list`` for ids).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .harness import ExperimentRunner
+from .harness.experiments import ALL_EXPERIMENTS
+from .harness.reporting import format_table
+from .uarch import ALL_MODELS, Consistency, ModelKind
+from .workloads import ALL_NAMES, WORKLOADS
+
+
+def _model(name: str) -> ModelKind:
+    try:
+        return ModelKind(name)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            "unknown model %r (choose from %s)"
+            % (name, ", ".join(m.value for m in ModelKind)))
+
+
+def _overrides(args) -> dict:
+    out = {}
+    if getattr(args, "store_buffer", None) is not None:
+        out["store_buffer_entries"] = args.store_buffer
+    if getattr(args, "rob", None) is not None:
+        out["rob_entries"] = args.rob
+    if getattr(args, "width", None) is not None:
+        out.update(fetch_width=args.width, rename_width=args.width,
+                   issue_width=args.width, retire_width=args.width)
+    if getattr(args, "pregs", None) is not None:
+        out["num_pregs"] = args.pregs
+    if getattr(args, "rmo", False):
+        out["consistency"] = Consistency.RMO
+    if getattr(args, "tage", False):
+        out["use_tage_predictor"] = True
+    return out
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Dynamic Memory Dependence Predication (ISCA'18) "
+                    "reproduction")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="workload scale factor (default: per-workload)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads and experiments")
+
+    compare = sub.add_parser("compare",
+                             help="one workload under all four models")
+    compare.add_argument("workload", choices=ALL_NAMES)
+
+    run = sub.add_parser("run", help="one workload under one model")
+    run.add_argument("workload", choices=ALL_NAMES)
+    run.add_argument("--model", type=_model, default=ModelKind.DMDP)
+    _add_config_flags(run)
+
+    suite = sub.add_parser("suite", help="a model across the whole suite")
+    suite.add_argument("--model", type=_model, default=ModelKind.DMDP)
+    _add_config_flags(suite)
+
+    experiment = sub.add_parser("experiment",
+                                help="reproduce one paper figure/table")
+    experiment.add_argument("exp_id", choices=sorted(ALL_EXPERIMENTS))
+    experiment.add_argument("--workloads", default=None,
+                            help="comma-separated subset")
+    return parser
+
+
+def _add_config_flags(parser) -> None:
+    parser.add_argument("--store-buffer", type=int, default=None,
+                        help="store buffer entries")
+    parser.add_argument("--rob", type=int, default=None, help="ROB entries")
+    parser.add_argument("--width", type=int, default=None,
+                        help="fetch/rename/issue/retire width")
+    parser.add_argument("--pregs", type=int, default=None,
+                        help="physical registers")
+    parser.add_argument("--rmo", action="store_true",
+                        help="relaxed memory order store buffer")
+    parser.add_argument("--tage", action="store_true",
+                        help="TAGE-structured distance predictor")
+
+
+def cmd_list(args, out) -> int:
+    rows = [[spec.name, spec.suite, spec.description]
+            for spec in WORKLOADS.values()]
+    print(format_table(["workload", "suite", "signature"], rows,
+                       title="Workloads (SPEC 2006 stand-ins)"), file=out)
+    print(file=out)
+    rows = [[exp_id, func.__doc__.strip().splitlines()[0]]
+            for exp_id, func in sorted(ALL_EXPERIMENTS.items())]
+    print(format_table(["experiment", "reproduces"], rows,
+                       title="Experiments"), file=out)
+    return 0
+
+
+def cmd_compare(args, out) -> int:
+    runner = ExperimentRunner(scale=args.scale)
+    rows = []
+    base_ipc = None
+    for model in ALL_MODELS:
+        result = runner.run(args.workload, model)
+        if base_ipc is None:
+            base_ipc = result.ipc
+        stats = result.stats
+        rows.append([model.value, stats.ipc, stats.ipc / base_ipc,
+                     stats.dep_mpki, stats.avg_load_exec_time,
+                     result.energy.edp / 1e6])
+    print(format_table(
+        ["model", "IPC", "vs baseline", "MPKI", "avg load cyc", "EDP(M)"],
+        rows, title="%s under the four models" % args.workload), file=out)
+    return 0
+
+
+def cmd_run(args, out) -> int:
+    runner = ExperimentRunner(scale=args.scale)
+    result = runner.run(args.workload, args.model, **_overrides(args))
+    stats = result.stats
+    print("workload     %s" % args.workload, file=out)
+    print("model        %s" % args.model.value, file=out)
+    for key, value in stats.summary().items():
+        print("%-12s %s" % (key, "%.4f" % value
+                            if isinstance(value, float) else value), file=out)
+    print("load mix     %s" % {k: "%.1f%%" % (100 * v) for k, v in
+                               stats.load_distribution().items() if v},
+          file=out)
+    print("energy       %.0f (EDP %.3g)" % (result.energy.total,
+                                            result.energy.edp), file=out)
+    return 0
+
+
+def cmd_suite(args, out) -> int:
+    runner = ExperimentRunner(scale=args.scale)
+    rows = []
+    for name in ALL_NAMES:
+        stats = runner.run(name, args.model, **_overrides(args)).stats
+        rows.append([name, stats.ipc, stats.dep_mpki,
+                     stats.avg_load_exec_time,
+                     stats.reexec_stalls_per_kilo])
+    print(format_table(
+        ["workload", "IPC", "MPKI", "avg load cyc", "reexec stalls/k"],
+        rows, title="%s across the suite" % args.model.value), file=out)
+    return 0
+
+
+def cmd_experiment(args, out) -> int:
+    runner = ExperimentRunner(scale=args.scale)
+    workloads = args.workloads.split(",") if args.workloads else None
+    result = ALL_EXPERIMENTS[args.exp_id](runner, workloads=workloads)
+    print(result.render(), file=out)
+    return 0
+
+
+COMMANDS = {
+    "list": cmd_list,
+    "compare": cmd_compare,
+    "run": cmd_run,
+    "suite": cmd_suite,
+    "experiment": cmd_experiment,
+}
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args, out if out is not None
+                                  else sys.stdout)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,12 @@
+"""Experiment harness: runner, figure/table reproductions, reporting."""
+
+from .runner import ExperimentRunner, SimResult, shared_runner
+from .reporting import format_table, geomean, percent, shape_check, speedup
+from .experiments import ALL_EXPERIMENTS, ExperimentResult
+from . import paper_data
+
+__all__ = [
+    "ExperimentRunner", "SimResult", "shared_runner",
+    "format_table", "geomean", "percent", "shape_check", "speedup",
+    "ALL_EXPERIMENTS", "ExperimentResult", "paper_data",
+]

@@ -1,0 +1,82 @@
+"""Numbers reported in the paper, used for paper-vs-measured columns.
+
+Every value below is transcribed from the paper text (Jin & Önder,
+"Dynamic Memory Dependence Predication", ISCA 2018).  Values the paper only
+shows as bar charts (Figs. 2, 3, 5, 12 per-benchmark, 14, 15) have no
+per-benchmark entry here; their aggregate claims are captured in
+``AGGREGATE_CLAIMS``.
+"""
+
+from __future__ import annotations
+
+# Table IV: average execution time of all loads (cycles).
+TABLE4_LOAD_EXEC_TIME = {
+    # name: (baseline, dmdp)
+    "perl": (15.86, 12.45), "bzip2": (36.67, 19.48),
+    "gcc": (44.98, 35.04), "mcf": (112.44, 104.00),
+    "gobmk": (13.51, 11.52), "hmmer": (11.20, 7.47),
+    "sjeng": (12.60, 10.62), "lib": (125.23, 124.73),
+    "h264ref": (22.68, 17.32), "astar": (21.18, 13.77),
+    "bwaves": (42.56, 36.76), "milc": (73.40, 61.18),
+    "zeusmp": (26.97, 21.21), "gromacs": (32.13, 11.41),
+    "leslie3d": (36.55, 32.91), "namd": (20.22, 18.94),
+    "Gems": (14.78, 11.62), "tonto": (20.31, 12.89),
+    "lbm": (72.17, 31.15), "wrf": (18.17, 9.19),
+    "sphinx3": (51.95, 50.47),
+}
+TABLE4_AVERAGE = (39.31, 31.15)
+
+# Fig. 12 geometric-mean IPC normalised to the baseline.
+FIG12_GEOMEAN_IPC = {
+    # suite: (nosq, dmdp, perfect)
+    "int": (0.975, 1.045, 1.068),
+    "fp": (1.008, 1.053, 1.066),
+}
+
+AGGREGATE_CLAIMS = {
+    # DMDP speedup over NoSQ (geomean, percent).
+    "dmdp_over_nosq_int": 7.17,
+    "dmdp_over_nosq_fp": 4.48,
+    # IPC DMDP loses to Perfect (geomean, percent).
+    "perfect_over_dmdp_int": 2.19,
+    "perfect_over_dmdp_fp": 1.25,
+    # Fig. 5: low-confidence misprediction rates.
+    "naive_lowconf_mispredict_rate": 11.4,   # treat low-conf as independent
+    "dmdp_lowconf_mispredict_rate": 3.7,
+    "lbm_naive_rate": 28.6,
+    "milc_naive_rate": 23.5,
+    # Table V: DMDP low-confidence load execution-time saving vs NoSQ.
+    "lowconf_exec_saving_avg": 54.48,        # percent
+    "lowconf_exec_saving_max": 79.25,
+    # hmmer anecdote (Section VI-a).
+    "hmmer_mpki_nosq": 3.06,
+    "hmmer_mpki_dmdp": 1.03,
+    # wrf anecdote (Section VI-c): avg load exec time baseline/NoSQ/DMDP.
+    "wrf_load_exec": (18.17, 13.85, 9.19),
+    "wrf_insn_exec": (19.53, 21.47, 12.74),
+    # Fig. 14: DMDP speedup of 32/64-entry SB over 16-entry (percent).
+    "sb32_int": 2.07, "sb32_fp": 3.81,
+    "sb64_int": 2.77, "sb64_fp": 5.01,
+    # Store-buffer-full stalls per 1k instructions by SB size.
+    "sb_full_stalls": {16: 503.1, 32: 220.5, 64: 75.0},
+    # Fig. 15 / abstract: EDP saving of DMDP vs NoSQ (percent).
+    "edp_saving_int": 8.5, "edp_saving_fp": 5.1,
+    "edp_saving_overall": 6.7,
+    # Section VI-f: register file pressure (DMDP gain over baseline).
+    "regfile_320_gain": 4.94, "regfile_160_gain": 4.24,
+    # Section VI-g: alternative configurations (DMDP over NoSQ, percent).
+    "issue4_int": 4.56, "issue4_fp": 2.41,
+    "rob512_int": 7.56, "rob512_fp": 6.35,
+    "rmo_int": 7.67, "rmo_fp": 4.08,
+    # 4-issue reduces low-confidence load population by 23.4%.
+    "issue4_lowconf_drop": 23.4,
+    # Section II: delayed loads execute ~7x longer than bypassing loads.
+    "delayed_vs_bypass_ratio": 7.0,
+    # mcf exception in Fig. 3 (delayed 117.6 vs bypassing 159.3 cycles).
+    "mcf_delayed_cycles": 117.6, "mcf_bypass_cycles": 159.3,
+    # Fig. 2: benchmarks with >10% delayed loads in NoSQ.
+    "high_delay_benchmarks": ("bzip2", "gcc", "mcf", "hmmer",
+                              "h264ref", "astar"),
+    # Average load execution saving of DMDP vs baseline (Table IV, >20%).
+    "load_exec_saving_vs_baseline": 20.0,
+}

@@ -1,0 +1,86 @@
+"""Formatting and aggregation helpers for experiment reports.
+
+The benchmark harness prints every reproduced figure/table as an ASCII
+table with a ``paper`` column next to the ``measured`` one wherever the
+paper gives a number (EXPERIMENTS.md is generated from the same data).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean (the paper's aggregate for speedups)."""
+    values = [v for v in values]
+    if not values:
+        return 0.0
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def speedup(new: float, old: float) -> float:
+    return new / old if old else 0.0
+
+
+def percent(ratio: float) -> float:
+    """1.0717 -> 7.17 (percentage points of improvement)."""
+    return 100.0 * (ratio - 1.0)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: Optional[str] = None,
+                 float_fmt: str = "%.3f") -> str:
+    """Render an ASCII table."""
+    def render(cell):
+        if isinstance(cell, float):
+            return float_fmt % cell
+        return str(cell)
+
+    text_rows = [[render(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells):
+        return "  ".join(cell.ljust(widths[i])
+                         for i, cell in enumerate(cells)).rstrip()
+
+    out = []
+    if title:
+        out.append(title)
+        out.append("=" * len(title))
+    out.append(line(headers))
+    out.append(line(["-" * w for w in widths]))
+    out.extend(line(row) for row in text_rows)
+    return "\n".join(out)
+
+
+def suite_geomeans(per_workload: Dict[str, float],
+                   int_names: Sequence[str],
+                   fp_names: Sequence[str]) -> Dict[str, float]:
+    """Geometric means over the INT and FP suites."""
+    return {
+        "int": geomean([per_workload[n] for n in int_names
+                        if n in per_workload]),
+        "fp": geomean([per_workload[n] for n in fp_names
+                       if n in per_workload]),
+    }
+
+
+def shape_check(measured: float, paper: float,
+                tolerance_sign_only: bool = True) -> str:
+    """Qualitative agreement marker for EXPERIMENTS.md.
+
+    The reproduction runs a different substrate on synthetic workloads, so
+    the check is directional: do the measured and paper values agree in
+    sign (who wins)?  '+' agreement, '-' disagreement, '~' both near zero.
+    """
+    if abs(measured) < 0.25 and abs(paper) < 0.25:
+        return "~"
+    if measured * paper > 0:
+        return "+"
+    return "-"

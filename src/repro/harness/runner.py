@@ -1,0 +1,126 @@
+"""Experiment runner: builds workloads, traces them once, and simulates
+them under arbitrary model/parameter combinations with memoisation.
+
+Every figure/table benchmark shares one module-level :class:`ExperimentRunner`
+so a full ``pytest benchmarks/`` session never simulates the same
+(workload, model, parameters) point twice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..energy import EnergyReport, energy_report
+from ..isa import Program
+from ..kernel import FunctionalCpu
+from ..kernel.trace import TraceEntry
+from ..uarch import CoreParams, ModelKind, SimStats, model_params
+from ..uarch.pipeline import Simulator
+from ..workloads import ALL_NAMES, get_workload
+
+
+@dataclass(frozen=True)
+class SimResult:
+    """Outcome of simulating one workload under one configuration."""
+
+    workload: str
+    model: ModelKind
+    stats: SimStats
+    energy: EnergyReport
+
+    @property
+    def ipc(self) -> float:
+        return self.stats.ipc
+
+
+def _freeze(value):
+    """Hashable form of a parameter override value."""
+    if isinstance(value, dict):
+        return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    return value
+
+
+class ExperimentRunner:
+    """Caches traces and simulation results across experiments."""
+
+    def __init__(self, scale: Optional[float] = None):
+        """``scale`` multiplies every workload's default iteration count
+        (e.g. 0.1 for quick tests); None keeps per-workload defaults."""
+        self.scale = scale
+        self._programs: Dict[str, Program] = {}
+        self._traces: Dict[str, List[TraceEntry]] = {}
+        self._results: Dict[Tuple, SimResult] = {}
+
+    # -- workload plumbing ---------------------------------------------------
+
+    def program(self, workload: str) -> Program:
+        if workload not in self._programs:
+            spec = get_workload(workload)
+            iterations = None
+            if self.scale is not None:
+                iterations = max(1, int(round(spec.default_scale
+                                              * self.scale)))
+            self._programs[workload] = spec.build(iterations)
+        return self._programs[workload]
+
+    def trace(self, workload: str) -> List[TraceEntry]:
+        if workload not in self._traces:
+            cpu = FunctionalCpu(self.program(workload))
+            self._traces[workload] = cpu.run_trace(max_instructions=5_000_000)
+        return self._traces[workload]
+
+    # -- simulation ------------------------------------------------------------
+
+    def run(self, workload: str, model: ModelKind,
+            **overrides) -> SimResult:
+        """Simulate one point; results are memoised."""
+        key = (workload, model, _freeze(overrides))
+        cached = self._results.get(key)
+        if cached is not None:
+            return cached
+        params = model_params(model, **overrides)
+        stats = Simulator(self.program(workload), self.trace(workload),
+                          params).run()
+        result = SimResult(workload=workload, model=model, stats=stats,
+                           energy=energy_report(stats, params.energy))
+        self._results[key] = result
+        return result
+
+    def run_with_params(self, workload: str, params: CoreParams) -> SimResult:
+        """Simulate with a fully custom (non-memoised) configuration."""
+        stats = Simulator(self.program(workload), self.trace(workload),
+                          params).run()
+        return SimResult(workload=workload, model=params.model, stats=stats,
+                         energy=energy_report(stats, params.energy))
+
+    def run_suite(self, model: ModelKind,
+                  workloads: Optional[Iterable[str]] = None,
+                  **overrides) -> Dict[str, SimResult]:
+        """Simulate one model across a workload list (default: all 21)."""
+        names = list(workloads) if workloads is not None else ALL_NAMES
+        return {name: self.run(name, model, **overrides) for name in names}
+
+    def run_matrix(self, models: Iterable[ModelKind],
+                   workloads: Optional[Iterable[str]] = None,
+                   **overrides) -> Dict[ModelKind, Dict[str, SimResult]]:
+        """Simulate several models across a workload list."""
+        return {model: self.run_suite(model, workloads, **overrides)
+                for model in models}
+
+    def cache_size(self) -> int:
+        return len(self._results)
+
+
+# A process-wide runner shared by the benchmark files.
+_SHARED: Optional[ExperimentRunner] = None
+
+
+def shared_runner(scale: Optional[float] = None) -> ExperimentRunner:
+    """The process-wide runner; the first caller fixes the scale."""
+    global _SHARED
+    if _SHARED is None:
+        _SHARED = ExperimentRunner(scale=scale)
+    return _SHARED

@@ -1,0 +1,146 @@
+"""Binary encoding for the architectural subset of the ISA.
+
+Instructions encode to 32-bit words in three MIPS-like formats:
+
+* **R**: ``opcode(6) | rd(5) | rs(5) | rt(5) | shamt(5) | pad(6)``
+* **I**: ``opcode(6) | r1(5) | rs(5) | imm(16)`` where ``r1`` is the
+  destination for loads/ALU-immediates and the ``rt`` source for stores and
+  BEQ/BNE (branches store the signed word offset relative to the
+  fall-through PC)
+* **J**: ``opcode(6) | target(26)``  (word index of the absolute target)
+
+MicroOp-only opcodes (AGI/CMP/CMOV) are never encoded; they exist only
+inside the timing pipeline after decode-time cracking.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .instructions import (
+    COND_BRANCH_OPS,
+    Instruction,
+    LOAD_OPS,
+    MICROOP_ONLY,
+    Opcode,
+    STORE_OPS,
+)
+
+# Stable 6-bit opcode numbering: architectural opcodes in declaration order.
+_ARCH_OPCODES = tuple(op for op in Opcode if op not in MICROOP_ONLY)
+assert len(_ARCH_OPCODES) <= 64, "6-bit opcode field exhausted"
+OPCODE_TO_BITS: Dict[Opcode, int] = {op: i for i, op in enumerate(_ARCH_OPCODES)}
+BITS_TO_OPCODE: Dict[int, Opcode] = {i: op for op, i in OPCODE_TO_BITS.items()}
+
+_J_FORMAT = frozenset({Opcode.J, Opcode.JAL})
+_SHIFT_IMM = frozenset({Opcode.SLL, Opcode.SRL, Opcode.SRA})
+# I-format ops whose immediate is zero-extended rather than sign-extended.
+_UNSIGNED_IMM = frozenset({Opcode.ANDI, Opcode.ORI, Opcode.XORI, Opcode.LUI,
+                           Opcode.SLTIU})
+_I_FORMAT = (
+    frozenset({Opcode.ADDI, Opcode.ANDI, Opcode.ORI, Opcode.XORI, Opcode.SLTI,
+               Opcode.SLTIU, Opcode.LUI})
+    | LOAD_OPS | STORE_OPS | COND_BRANCH_OPS
+)
+
+
+class EncodingError(ValueError):
+    """Raised when an instruction cannot be encoded or decoded."""
+
+
+def _check_imm16(value: int, signed: bool, what: str) -> int:
+    if signed:
+        if not -(1 << 15) <= value < (1 << 15):
+            raise EncodingError("%s %d out of signed 16-bit range" % (what, value))
+        return value & 0xFFFF
+    if not 0 <= value < (1 << 16):
+        raise EncodingError("%s %d out of unsigned 16-bit range" % (what, value))
+    return value
+
+
+def encode(instr: Instruction, pc: int) -> int:
+    """Encode ``instr`` located at byte address ``pc`` to a 32-bit word."""
+    op = instr.op
+    if op in MICROOP_ONLY:
+        raise EncodingError("MicroOp-only opcode %s cannot be encoded" % op.name)
+    opbits = OPCODE_TO_BITS[op] << 26
+
+    if op in _J_FORMAT:
+        target = instr.target or 0
+        if target % 4:
+            raise EncodingError("jump target 0x%x not word aligned" % target)
+        word_index = (target >> 2) & 0x03FFFFFF
+        return opbits | word_index
+
+    rd = instr.rd or 0
+    rs = instr.rs or 0
+    rt = instr.rt or 0
+
+    if op in _I_FORMAT:
+        if op in COND_BRANCH_OPS:
+            offset = ((instr.target or 0) - (pc + 4)) >> 2
+            imm = _check_imm16(offset, signed=True, what="branch offset")
+            r1 = rt  # BEQ/BNE second source; zero for one-register branches
+        else:
+            imm = _check_imm16(instr.imm or 0, signed=op not in _UNSIGNED_IMM,
+                               what="immediate")
+            r1 = rt if op in STORE_OPS else rd
+        return opbits | (r1 << 21) | (rs << 16) | imm
+
+    shamt = 0
+    if op in _SHIFT_IMM:
+        shamt = instr.imm or 0
+        if not 0 <= shamt < 32:
+            raise EncodingError("shift amount %d out of range" % shamt)
+    return opbits | (rd << 21) | (rs << 16) | (rt << 11) | (shamt << 6)
+
+
+def _sign_extend16(value: int) -> int:
+    return value - 0x10000 if value & 0x8000 else value
+
+
+def decode(word: int, pc: int) -> Instruction:
+    """Decode a 32-bit word at byte address ``pc`` back to an Instruction."""
+    opbits = (word >> 26) & 0x3F
+    op = BITS_TO_OPCODE.get(opbits)
+    if op is None:
+        raise EncodingError("unknown opcode bits %d" % opbits)
+
+    if op in _J_FORMAT:
+        target = (word & 0x03FFFFFF) << 2
+        if op is Opcode.JAL:
+            return Instruction(op, rd=31, target=target)
+        return Instruction(op, target=target)
+
+    rd = (word >> 21) & 0x1F
+    rs = (word >> 16) & 0x1F
+    rt = (word >> 11) & 0x1F
+
+    if op in _I_FORMAT:
+        r1 = rd  # bits 21-25 carry rd or rt depending on opcode
+        imm = word & 0xFFFF
+        if op in COND_BRANCH_OPS:
+            target = pc + 4 + (_sign_extend16(imm) << 2)
+            if op in (Opcode.BEQ, Opcode.BNE):
+                return Instruction(op, rs=rs, rt=r1, target=target)
+            return Instruction(op, rs=rs, target=target)
+        if op not in _UNSIGNED_IMM:
+            imm = _sign_extend16(imm)
+        if op in LOAD_OPS:
+            return Instruction(op, rd=r1, rs=rs, imm=imm)
+        if op in STORE_OPS:
+            return Instruction(op, rs=rs, rt=r1, imm=imm)
+        if op is Opcode.LUI:
+            return Instruction(op, rd=r1, imm=imm)
+        return Instruction(op, rd=r1, rs=rs, imm=imm)
+
+    if op in (Opcode.NOP, Opcode.HALT):
+        return Instruction(op)
+    if op is Opcode.JR:
+        return Instruction(op, rs=rs)
+    if op is Opcode.JALR:
+        return Instruction(op, rd=rd, rs=rs)
+    if op in _SHIFT_IMM:
+        shamt = (word >> 6) & 0x1F
+        return Instruction(op, rd=rd, rs=rs, imm=shamt)
+    return Instruction(op, rd=rd, rs=rs, rt=rt)

@@ -1,0 +1,71 @@
+"""Logical register definitions for the MIPS-like ISA.
+
+The architectural register file has 32 logical registers following MIPS
+naming conventions.  Following the paper (Section IV-A, Fig. 7), the
+microarchitecture additionally uses three *hardware-only* logical registers
+that are invisible to the ISA and only appear in cracked MicroOps:
+
+* ``$32`` (``$agi``)  -- destination of address-generation MicroOps,
+* ``$33`` (``$ldtmp``) -- temporary holding the cache data of a predicated
+  load (Fig. 8(c)),
+* ``$34`` (``$pred``) -- the predicate produced by the CMP MicroOp.
+
+Hardware-only registers participate in renaming exactly like ordinary
+logical registers but can never be named in assembly source.
+"""
+
+from __future__ import annotations
+
+NUM_ARCH_REGS = 32
+
+# Hardware-only logical registers (paper Fig. 7 / Fig. 8).
+REG_AGI = 32
+REG_LDTMP = 33
+REG_PRED = 34
+
+NUM_LOGICAL_REGS = 35
+
+# Canonical MIPS register names, index == register number.
+REG_NAMES = (
+    "$zero", "$at", "$v0", "$v1", "$a0", "$a1", "$a2", "$a3",
+    "$t0", "$t1", "$t2", "$t3", "$t4", "$t5", "$t6", "$t7",
+    "$s0", "$s1", "$s2", "$s3", "$s4", "$s5", "$s6", "$s7",
+    "$t8", "$t9", "$k0", "$k1", "$gp", "$sp", "$fp", "$ra",
+    "$agi", "$ldtmp", "$pred",
+)
+
+_NAME_TO_NUM = {name: num for num, name in enumerate(REG_NAMES)}
+# Numeric aliases: $0 .. $34.
+_NAME_TO_NUM.update({"$%d" % num: num for num in range(NUM_LOGICAL_REGS)})
+
+
+class RegisterError(ValueError):
+    """Raised for an unknown register name or out-of-range number."""
+
+
+def parse_register(name: str, allow_hw: bool = False) -> int:
+    """Translate a register name (``$t0``, ``$8``) to its number.
+
+    ``allow_hw`` permits the hardware-only registers ``$32``-``$34``; plain
+    assembly source must leave it ``False``.
+    """
+    num = _NAME_TO_NUM.get(name.strip().lower())
+    if num is None:
+        raise RegisterError("unknown register %r" % (name,))
+    if num >= NUM_ARCH_REGS and not allow_hw:
+        raise RegisterError(
+            "register %s is hardware-only and not addressable in assembly" % name
+        )
+    return num
+
+
+def register_name(num: int) -> str:
+    """Return the canonical name for a register number."""
+    if not 0 <= num < NUM_LOGICAL_REGS:
+        raise RegisterError("register number %r out of range" % (num,))
+    return REG_NAMES[num]
+
+
+def is_hardware_only(num: int) -> bool:
+    """True for the MicroOp-only registers ``$32``-``$34``."""
+    return NUM_ARCH_REGS <= num < NUM_LOGICAL_REGS

@@ -1,0 +1,10 @@
+"""Functional simulation substrate: memory, interpreter CPU, dynamic traces."""
+
+from .memory import SparseMemory
+from .cpu import ExecutionError, FunctionalCpu, run_program, to_signed, to_unsigned
+from .trace import TraceEntry, TraceRecorder, trace_summary
+
+__all__ = [
+    "SparseMemory", "ExecutionError", "FunctionalCpu", "run_program",
+    "to_signed", "to_unsigned", "TraceEntry", "TraceRecorder", "trace_summary",
+]

@@ -1,0 +1,231 @@
+"""Functional (architectural) simulator for the MIPS-like ISA.
+
+Executes :class:`~repro.isa.Program` objects instruction by instruction with
+exact architectural semantics and optionally records a dynamic trace with
+oracle memory-dependence annotations (see :mod:`repro.kernel.trace`).
+
+The timing simulator never re-executes semantics; it consumes the trace this
+CPU produces, which is the standard trace-driven simulation split (DESIGN.md
+Section 3).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..isa import Instruction, Opcode, Program, STACK_TOP
+from .memory import SparseMemory
+from .trace import TraceEntry, TraceRecorder
+
+WORD_MASK = 0xFFFFFFFF
+
+
+class ExecutionError(Exception):
+    """Raised for runaway programs or invalid execution states."""
+
+
+def to_signed(value: int) -> int:
+    """Interpret a 32-bit unsigned value as two's-complement signed."""
+    value &= WORD_MASK
+    return value - 0x1_0000_0000 if value & 0x8000_0000 else value
+
+
+def to_unsigned(value: int) -> int:
+    return value & WORD_MASK
+
+
+def _sign_extend(value: int, size: int) -> int:
+    bits = 8 * size
+    sign = 1 << (bits - 1)
+    value &= (1 << bits) - 1
+    return to_unsigned(value - (1 << bits)) if value & sign else value
+
+
+class FunctionalCpu:
+    """Architectural interpreter with optional trace recording."""
+
+    def __init__(self, program: Program):
+        self.program = program
+        self.memory = SparseMemory()
+        self.memory.load_segment(program.data_base, program.data)
+        self.regs: List[int] = [0] * 32
+        self.regs[29] = STACK_TOP  # $sp
+        self.pc = program.entry
+        self.halted = False
+        self.instruction_count = 0
+
+    # -- register helpers ----------------------------------------------------
+
+    def read_reg(self, num: int) -> int:
+        return self.regs[num]
+
+    def write_reg(self, num: int, value: int) -> None:
+        if num != 0:
+            self.regs[num] = value & WORD_MASK
+
+    # -- execution -------------------------------------------------------------
+
+    def run(self, max_instructions: int = 10_000_000,
+            recorder: Optional[TraceRecorder] = None) -> int:
+        """Run until HALT or the instruction cap; returns instructions run."""
+        while not self.halted:
+            if self.instruction_count >= max_instructions:
+                raise ExecutionError(
+                    "instruction cap %d reached at pc=0x%x"
+                    % (max_instructions, self.pc))
+            self.step(recorder)
+        return self.instruction_count
+
+    def run_trace(self, max_instructions: int = 10_000_000) -> List[TraceEntry]:
+        """Run to completion and return the dynamic trace."""
+        recorder = TraceRecorder()
+        self.run(max_instructions=max_instructions, recorder=recorder)
+        return recorder.entries
+
+    def step(self, recorder: Optional[TraceRecorder] = None) -> None:
+        """Execute one instruction."""
+        instr = self.program.instruction_at(self.pc)
+        pc = self.pc
+        next_pc = pc + 4
+        taken = False
+        mem_addr = mem_size = value = None
+        silent = False
+        op = instr.op
+        regs = self.regs
+
+        if op is Opcode.HALT:
+            self.halted = True
+        elif op is Opcode.NOP:
+            pass
+        elif instr.is_load:
+            mem_addr = (regs[instr.rs] + instr.imm) & WORD_MASK
+            mem_size = instr.mem_size
+            raw = self.memory.read(mem_addr, mem_size)
+            value = raw
+            if op in (Opcode.LH, Opcode.LB):
+                raw = _sign_extend(raw, mem_size)
+            self.write_reg(instr.rd, raw)
+        elif instr.is_store:
+            mem_addr = (regs[instr.rs] + instr.imm) & WORD_MASK
+            mem_size = instr.mem_size
+            value = regs[instr.rt] & ((1 << (8 * mem_size)) - 1)
+            silent = self.memory.read(mem_addr, mem_size) == value
+            self.memory.write(mem_addr, value, mem_size)
+        elif instr.is_cond_branch:
+            taken = self._branch_taken(instr)
+            if taken:
+                next_pc = instr.target
+        elif op is Opcode.J:
+            taken = True
+            next_pc = instr.target
+        elif op is Opcode.JAL:
+            taken = True
+            self.write_reg(instr.dest_reg(), pc + 4)
+            next_pc = instr.target
+        elif op is Opcode.JR:
+            taken = True
+            next_pc = regs[instr.rs]
+        elif op is Opcode.JALR:
+            taken = True
+            self.write_reg(instr.dest_reg(), pc + 4)
+            next_pc = regs[instr.rs]
+        else:
+            self._alu(instr)
+
+        self.pc = next_pc
+        self.instruction_count += 1
+        if recorder is not None:
+            recorder.record(pc, instr, next_pc, taken,
+                            mem_addr=mem_addr, mem_size=mem_size,
+                            value=value, silent=silent)
+
+    # -- semantics ----------------------------------------------------------------
+
+    def _branch_taken(self, instr: Instruction) -> bool:
+        op = instr.op
+        regs = self.regs
+        a = to_signed(regs[instr.rs])
+        if op is Opcode.BEQ:
+            return regs[instr.rs] == regs[instr.rt]
+        if op is Opcode.BNE:
+            return regs[instr.rs] != regs[instr.rt]
+        if op is Opcode.BLEZ:
+            return a <= 0
+        if op is Opcode.BGTZ:
+            return a > 0
+        if op is Opcode.BLTZ:
+            return a < 0
+        if op is Opcode.BGEZ:
+            return a >= 0
+        raise ExecutionError("not a branch: %s" % instr)
+
+    def _alu(self, instr: Instruction) -> None:
+        op = instr.op
+        regs = self.regs
+        rs = regs[instr.rs] if instr.rs is not None else 0
+        rt = regs[instr.rt] if instr.rt is not None else 0
+        imm = instr.imm if instr.imm is not None else 0
+
+        if op in (Opcode.ADD, Opcode.FADD):
+            result = rs + rt
+        elif op in (Opcode.SUB, Opcode.FSUB):
+            result = rs - rt
+        elif op is Opcode.AND:
+            result = rs & rt
+        elif op is Opcode.OR:
+            result = rs | rt
+        elif op is Opcode.XOR:
+            result = rs ^ rt
+        elif op is Opcode.NOR:
+            result = ~(rs | rt)
+        elif op is Opcode.SLT:
+            result = int(to_signed(rs) < to_signed(rt))
+        elif op is Opcode.SLTU:
+            result = int(rs < rt)
+        elif op is Opcode.SLLV:
+            result = rs << (rt & 0x1F)
+        elif op is Opcode.SRLV:
+            result = rs >> (rt & 0x1F)
+        elif op is Opcode.SRAV:
+            result = to_signed(rs) >> (rt & 0x1F)
+        elif op in (Opcode.MUL, Opcode.FMUL):
+            result = to_signed(rs) * to_signed(rt)
+        elif op is Opcode.MULH:
+            result = (to_signed(rs) * to_signed(rt)) >> 32
+        elif op in (Opcode.DIV, Opcode.FDIV):
+            divisor = to_signed(rt)
+            result = 0 if divisor == 0 else int(to_signed(rs) / divisor)
+        elif op is Opcode.REM:
+            divisor = to_signed(rt)
+            result = 0 if divisor == 0 else to_signed(rs) - divisor * int(
+                to_signed(rs) / divisor)
+        elif op is Opcode.ADDI:
+            result = rs + imm
+        elif op is Opcode.ANDI:
+            result = rs & (imm & 0xFFFF)
+        elif op is Opcode.ORI:
+            result = rs | (imm & 0xFFFF)
+        elif op is Opcode.XORI:
+            result = rs ^ (imm & 0xFFFF)
+        elif op is Opcode.SLTI:
+            result = int(to_signed(rs) < imm)
+        elif op is Opcode.SLTIU:
+            result = int(rs < (imm & WORD_MASK))
+        elif op is Opcode.LUI:
+            result = (imm & 0xFFFF) << 16
+        elif op is Opcode.SLL:
+            result = rs << imm
+        elif op is Opcode.SRL:
+            result = rs >> imm
+        elif op is Opcode.SRA:
+            result = to_signed(rs) >> imm
+        else:
+            raise ExecutionError("unimplemented opcode %s" % op.name)
+
+        self.write_reg(instr.dest_reg(), result)
+
+
+def run_program(program: Program,
+                max_instructions: int = 10_000_000) -> List[TraceEntry]:
+    """Convenience: execute ``program`` and return its dynamic trace."""
+    return FunctionalCpu(program).run_trace(max_instructions=max_instructions)

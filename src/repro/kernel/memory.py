@@ -1,0 +1,94 @@
+"""Byte-addressable sparse memory used by the functional simulator.
+
+Memory is organised as 4 KiB pages allocated on first touch, little-endian,
+32-bit address space.  The same class also serves as the "architectural
+memory image" the timing simulator keeps at commit time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT
+PAGE_MASK = PAGE_SIZE - 1
+ADDRESS_MASK = 0xFFFFFFFF
+
+
+class MemoryError_(Exception):
+    """Raised for misaligned accesses."""
+
+
+class SparseMemory:
+    """A sparse, paged, little-endian byte-addressable memory."""
+
+    def __init__(self) -> None:
+        self._pages: Dict[int, bytearray] = {}
+
+    def _page_for(self, address: int) -> Tuple[bytearray, int]:
+        page_number = (address & ADDRESS_MASK) >> PAGE_SHIFT
+        page = self._pages.get(page_number)
+        if page is None:
+            page = bytearray(PAGE_SIZE)
+            self._pages[page_number] = page
+        return page, address & PAGE_MASK
+
+    # -- byte-wise access ---------------------------------------------------
+
+    def read_byte(self, address: int) -> int:
+        page = self._pages.get((address & ADDRESS_MASK) >> PAGE_SHIFT)
+        if page is None:
+            return 0
+        return page[address & PAGE_MASK]
+
+    def write_byte(self, address: int, value: int) -> None:
+        page, offset = self._page_for(address)
+        page[offset] = value & 0xFF
+
+    def read_bytes(self, address: int, size: int) -> bytes:
+        return bytes(self.read_byte(address + i) for i in range(size))
+
+    def write_bytes(self, address: int, data: bytes) -> None:
+        for i, value in enumerate(data):
+            self.write_byte(address + i, value)
+
+    # -- sized little-endian access ------------------------------------------
+
+    def read(self, address: int, size: int) -> int:
+        """Read ``size`` bytes at ``address`` as an unsigned little-endian int."""
+        if address % size:
+            raise MemoryError_("misaligned %d-byte read at 0x%x" % (size, address))
+        if size == 4 and (address & PAGE_MASK) <= PAGE_SIZE - 4:
+            page = self._pages.get((address & ADDRESS_MASK) >> PAGE_SHIFT)
+            if page is None:
+                return 0
+            offset = address & PAGE_MASK
+            return int.from_bytes(page[offset:offset + 4], "little")
+        return int.from_bytes(self.read_bytes(address, size), "little")
+
+    def write(self, address: int, value: int, size: int) -> None:
+        """Write ``size`` low-order bytes of ``value`` at ``address``."""
+        if address % size:
+            raise MemoryError_("misaligned %d-byte write at 0x%x" % (size, address))
+        mask = (1 << (8 * size)) - 1
+        self.write_bytes(address, (value & mask).to_bytes(size, "little"))
+
+    def read_word(self, address: int) -> int:
+        return self.read(address, 4)
+
+    def write_word(self, address: int, value: int) -> None:
+        self.write(address, value, 4)
+
+    # -- bulk helpers ---------------------------------------------------------
+
+    def load_segment(self, base: int, data: bytes) -> None:
+        self.write_bytes(base, data)
+
+    def touched_pages(self) -> Iterable[int]:
+        """Page numbers that have been allocated (for tests/inspection)."""
+        return self._pages.keys()
+
+    def copy(self) -> "SparseMemory":
+        clone = SparseMemory()
+        clone._pages = {num: bytearray(page) for num, page in self._pages.items()}
+        return clone

@@ -1,0 +1,43 @@
+"""Cycle-level microarchitecture: pipeline, predictors, memory system."""
+
+from .params import (
+    CacheParams,
+    ConfidencePolicy,
+    Consistency,
+    CoreParams,
+    EnergyParams,
+    ModelKind,
+    PredictorParams,
+    baseline_params,
+    model_params,
+)
+from .stats import LoadKind, LowConfOutcome, SimStats
+from .branch import BranchPredictor, Btb, GShare, ReturnAddressStack
+from .cachesim import Dram, MemoryHierarchy, SetAssocCache
+from .tlb import Tlb
+from .regfile import PhysRegFile, RegfileError
+from .ssn import SsnState, StoreRegisterBuffer
+from .tssbf import Tssbf, TssbfResult, UntaggedSsbf
+from .distance_predictor import DistancePrediction, StoreDistancePredictor
+from .tage_predictor import TageDistancePredictor
+from .storesets import StoreSets
+from .storebuffer import StoreBuffer, StoreBufferEntry
+from .uops import DynInstr, LoadInfo, StoreInfo, Uop, UopKind, UopState
+from .pipeline import SimulationError, Simulator, simulate
+from .models import ALL_MODELS, run_all_models, run_model, trace_program
+
+__all__ = [
+    "CacheParams", "ConfidencePolicy", "Consistency", "CoreParams",
+    "EnergyParams", "ModelKind", "PredictorParams", "baseline_params",
+    "model_params",
+    "LoadKind", "LowConfOutcome", "SimStats",
+    "BranchPredictor", "Btb", "GShare", "ReturnAddressStack",
+    "Dram", "MemoryHierarchy", "SetAssocCache", "Tlb",
+    "PhysRegFile", "RegfileError", "SsnState", "StoreRegisterBuffer",
+    "Tssbf", "TssbfResult", "UntaggedSsbf", "DistancePrediction",
+    "StoreDistancePredictor", "TageDistancePredictor",
+    "StoreSets", "StoreBuffer", "StoreBufferEntry",
+    "DynInstr", "LoadInfo", "StoreInfo", "Uop", "UopKind", "UopState",
+    "SimulationError", "Simulator", "simulate",
+    "ALL_MODELS", "run_all_models", "run_model", "trace_program",
+]

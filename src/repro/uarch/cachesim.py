@@ -1,0 +1,226 @@
+"""Cache hierarchy timing model: set-associative LRU caches with MSHRs over
+an address-interleaved, row-buffered DRAM (the DRAMSim2 stand-in;
+DESIGN.md §4).
+
+The hierarchy answers one question for the pipeline: *how many cycles does
+this access take, starting at this cycle?* -- while keeping tag state so
+hit/miss sequences are realistic.  Data values live elsewhere (the timing
+memory image); caches model latency only, which is all the paper's
+experiments require of them.
+
+Realism features beyond the fixed-latency minimum:
+
+* **MSHRs** bound the number of outstanding L1 misses; a secondary miss to
+  an already-outstanding line merges with it (no new slot, same fill time).
+* **DRAM banks** are selected by address; each bank keeps an open row, so
+  row-buffer hits complete faster than row conflicts.
+* an optional **next-line prefetcher** fills line+1 alongside each demand
+  miss (off by default to keep the paper-faithful configuration).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .params import CacheParams
+from .stats import SimStats
+
+
+class SetAssocCache:
+    """Tag store of a set-associative LRU cache."""
+
+    def __init__(self, params: CacheParams):
+        self.params = params
+        self.offset_bits = params.line_bytes.bit_length() - 1
+        self.num_sets = params.num_sets
+        assert self.num_sets & (self.num_sets - 1) == 0, "sets must be power of 2"
+        self.index_mask = self.num_sets - 1
+        # Each set is an LRU-ordered list of tags (front == LRU).
+        self.sets: List[List[int]] = [[] for _ in range(self.num_sets)]
+
+    def _set_and_tag(self, address: int) -> Tuple[List[int], int]:
+        line = address >> self.offset_bits
+        return self.sets[line & self.index_mask], line
+
+    def lookup(self, address: int) -> bool:
+        """Probe without fill; promotes to MRU on hit."""
+        cache_set, tag = self._set_and_tag(address)
+        if tag in cache_set:
+            cache_set.remove(tag)
+            cache_set.append(tag)
+            return True
+        return False
+
+    def fill(self, address: int) -> None:
+        cache_set, tag = self._set_and_tag(address)
+        if tag in cache_set:
+            cache_set.remove(tag)
+        elif len(cache_set) >= self.params.assoc:
+            cache_set.pop(0)
+        cache_set.append(tag)
+
+    def invalidate(self, address: int) -> bool:
+        cache_set, tag = self._set_and_tag(address)
+        if tag in cache_set:
+            cache_set.remove(tag)
+            return True
+        return False
+
+
+class Dram:
+    """Address-interleaved banks with open-row tracking.
+
+    The bank is selected from the line address; each bank services one
+    request at a time and keeps its last row open: a row hit completes in
+    ``row_hit_latency`` cycles, anything else in the full ``latency``.
+    """
+
+    LINE_BITS = 6          # bank interleaving granularity (64 B)
+
+    def __init__(self, latency: int, banks: int,
+                 row_hit_latency: Optional[int] = None,
+                 row_bits: int = 11):
+        self.latency = latency
+        self.row_hit_latency = (row_hit_latency if row_hit_latency is not None
+                                else latency)
+        self.banks = banks
+        self.row_bits = row_bits
+        self._bank_free: List[int] = [0] * banks
+        self._open_row: List[Optional[int]] = [None] * banks
+        self.row_hits = 0
+        self.row_misses = 0
+
+    def _bank_and_row(self, address: int) -> Tuple[int, int]:
+        line = address >> self.LINE_BITS
+        bank = line % self.banks
+        row = line >> (self.row_bits - self.LINE_BITS + 1)
+        return bank, row
+
+    def access(self, cycle: int, address: int = 0) -> int:
+        """Start an access at ``cycle``; returns its completion cycle."""
+        bank, row = self._bank_and_row(address)
+        start = max(cycle, self._bank_free[bank])
+        if self._open_row[bank] == row:
+            self.row_hits += 1
+            done = start + self.row_hit_latency
+        else:
+            self.row_misses += 1
+            done = start + self.latency
+            self._open_row[bank] = row
+        self._bank_free[bank] = done
+        return done
+
+
+class MemoryHierarchy:
+    """L1D + unified L2 + DRAM, returning per-access completion cycles."""
+
+    def __init__(self, l1_params: CacheParams, l2_params: CacheParams,
+                 dram_latency: int, dram_banks: int, stats: SimStats,
+                 mshrs: int = 8, prefetch_next_line: bool = False,
+                 dram_row_hit_latency: Optional[int] = None):
+        self.l1 = SetAssocCache(l1_params)
+        self.l2 = SetAssocCache(l2_params)
+        self.dram = Dram(dram_latency, dram_banks,
+                         row_hit_latency=dram_row_hit_latency)
+        self.l1_latency = l1_params.hit_latency
+        self.l2_latency = l2_params.hit_latency
+        self.line_mask = ~(l1_params.line_bytes - 1)
+        self.stats = stats
+        self._ee = stats.energy_events
+        # MSHRs: slot -> cycle it frees; outstanding line -> fill time.
+        self.mshrs = mshrs
+        self._mshr_free: List[int] = [0] * mshrs
+        self._outstanding: Dict[int, int] = {}
+        self.mshr_merges = 0
+        self.mshr_stalls = 0
+        self.prefetch_next_line = prefetch_next_line
+        self.prefetches = 0
+
+    # -- internals ------------------------------------------------------------
+
+    def _miss_path(self, address: int, start: int) -> int:
+        """L1-miss service time (L2 probe, then DRAM if needed)."""
+        self._ee["l2_access"] += 1
+        if self.l2.lookup(address):
+            self.stats.l2_hits += 1
+            done = start + self.l2_latency
+        else:
+            self.stats.l2_misses += 1
+            self._ee["dram_access"] += 1
+            done = self.dram.access(start + self.l2_latency, address)
+            self.l2.fill(address)
+        self.l1.fill(address)
+        return done
+
+    def _allocate_mshr(self, line: int, cycle: int) -> Tuple[int, bool]:
+        """Returns (start_cycle, merged) for a demand miss on ``line``."""
+        outstanding = self._outstanding.get(line)
+        if outstanding is not None and outstanding > cycle:
+            self.mshr_merges += 1
+            return outstanding, True
+        slot = min(range(self.mshrs), key=lambda i: self._mshr_free[i])
+        start = max(cycle, self._mshr_free[slot])
+        if start > cycle:
+            self.mshr_stalls += 1
+        return start, False
+
+    def _note_outstanding(self, line: int, slot_start: int,
+                          done: int) -> None:
+        slot = min(range(self.mshrs), key=lambda i: self._mshr_free[i])
+        self._mshr_free[slot] = done
+        self._outstanding[line] = done
+        if len(self._outstanding) > 4 * self.mshrs:
+            # Garbage-collect stale entries.
+            self._outstanding = {ln: dn for ln, dn in
+                                 self._outstanding.items() if dn > slot_start}
+
+    # -- public interface --------------------------------------------------------
+
+    def access(self, address: int, cycle: int, is_write: bool = False) -> int:
+        """Model one demand access starting at ``cycle``.
+
+        Returns the cycle at which the data is available (loads) or the
+        write has been absorbed (stores).  Write misses allocate
+        (write-allocate, fetch-on-write).
+        """
+        stats = self.stats
+        self._ee["l1_access"] += 1
+        line = address & self.line_mask
+        if self.l1.lookup(address):
+            stats.l1_hits += 1
+            # Hit-under-fill: the tag was installed when the miss issued,
+            # but the data only arrives when the outstanding fill returns.
+            outstanding = self._outstanding.get(line)
+            if outstanding is not None and outstanding > cycle:
+                self.mshr_merges += 1
+                return outstanding
+            return cycle + self.l1_latency
+        stats.l1_misses += 1
+        start, merged = self._allocate_mshr(line, cycle)
+        if merged:
+            return start  # piggy-back on the outstanding fill
+        done = self._miss_path(address, start + self.l1_latency)
+        self._note_outstanding(line, start, done)
+        if self.prefetch_next_line:
+            self.prefetches += 1
+            next_line = line + (~self.line_mask + 1)
+            if not self.l1.lookup(next_line):
+                self._miss_path(next_line, start + self.l1_latency)
+        return done
+
+    def probe_latency(self, address: int) -> int:
+        """Latency an access *would* take, without changing any state.
+
+        Used by tests and by opportunistic checks; demand accesses must use
+        :meth:`access`.
+        """
+        if self.l1.lookup(address):
+            return self.l1_latency
+        if self.l2.lookup(address):
+            return self.l1_latency + self.l2_latency
+        return self.l1_latency + self.l2_latency + self.dram.latency
+
+    def invalidate_line(self, address: int) -> None:
+        """Multi-core invalidation hook (paper Section IV-F)."""
+        self.l1.invalidate(address)
+        self.l2.invalidate(address)

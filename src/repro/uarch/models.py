@@ -1,0 +1,55 @@
+"""Convenience entry points for the four evaluated models.
+
+The :class:`~repro.uarch.pipeline.Simulator` is fully driven by
+:class:`~repro.uarch.params.CoreParams`; this module provides the canonical
+per-model configurations of paper Section V and a one-call runner.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..isa import Program
+from ..kernel import FunctionalCpu
+from ..kernel.trace import TraceEntry
+from .params import CoreParams, ModelKind, model_params
+from .pipeline import Simulator
+from .stats import SimStats
+
+ALL_MODELS = (ModelKind.BASELINE, ModelKind.NOSQ, ModelKind.DMDP,
+              ModelKind.PERFECT)
+
+
+def trace_program(program: Program,
+                  max_instructions: int = 10_000_000) -> List[TraceEntry]:
+    """Run the functional simulator and return the dynamic trace."""
+    return FunctionalCpu(program).run_trace(max_instructions=max_instructions)
+
+
+def run_model(program: Program, trace: List[TraceEntry], model: ModelKind,
+              params: Optional[CoreParams] = None, **overrides) -> SimStats:
+    """Simulate ``trace`` under one store-load communication model.
+
+    ``params`` supplies a base configuration (its ``model`` and confidence
+    policy are overridden to the canonical ones for ``model``); keyword
+    overrides are applied on top.
+    """
+    if params is None:
+        params = model_params(model, **overrides)
+    else:
+        params = params.with_model(model)
+        if overrides:
+            import dataclasses
+            params = dataclasses.replace(params, **overrides)
+    return Simulator(program, trace, params).run()
+
+
+def run_all_models(program: Program,
+                   trace: Optional[List[TraceEntry]] = None,
+                   models=ALL_MODELS,
+                   **overrides) -> Dict[ModelKind, SimStats]:
+    """Simulate the same trace under every requested model."""
+    if trace is None:
+        trace = trace_program(program)
+    return {model: run_model(program, trace, model, **overrides)
+            for model in models}

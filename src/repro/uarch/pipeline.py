@@ -1,0 +1,1151 @@
+"""Cycle-level out-of-order timing simulator.
+
+Consumes a committed-path dynamic trace (from :mod:`repro.kernel`) and
+models an 8-wide superscalar pipeline -- fetch, decode/crack, rename,
+dispatch, issue, execute, writeback, retire, and store commit -- with the
+store-load communication machinery of the four evaluated models
+(paper Section V):
+
+* **BASELINE** -- unlimited store queue / load queue, Store Sets dependence
+  prediction, 4-cycle constant SQ/SB search, store buffer.
+* **NOSQ** -- store-queue-free: memory cloaking for confident dependences,
+  *delayed* execution for low-confidence ones, SVW + T-SSBF verification.
+* **DMDP** -- as NoSQ, but low-confidence loads are *predicated* with
+  CMP/CMOV MicroOps and the biased confidence update (the contribution).
+* **PERFECT** -- oracle memory dependence, no verification.
+
+Correctness events are exact: a load's obtained value is compared against
+the architectural value (so silent stores behave exactly as in the paper),
+and violations trigger a full squash with refetch.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import Counter, deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from ..isa import FuClass, Instruction, Program
+from ..isa.registers import NUM_LOGICAL_REGS, REG_AGI, REG_LDTMP, REG_PRED
+from ..kernel.memory import SparseMemory
+from ..kernel.trace import TraceEntry
+from .branch import BranchPredictor
+from .cachesim import MemoryHierarchy
+from .distance_predictor import StoreDistancePredictor
+from .params import CoreParams, ModelKind
+from .regfile import PhysRegFile
+from .ssn import SsnState, StoreRegisterBuffer
+from .stats import LoadKind, LowConfOutcome, SimStats
+from .storebuffer import StoreBuffer
+from .storesets import StoreSets
+from .tage_predictor import TageDistancePredictor
+from .tlb import Tlb
+from .tssbf import Tssbf, UntaggedSsbf
+from .uops import DynInstr, LoadInfo, StoreInfo, Uop, UopKind, UopState
+
+_FU_ENERGY = {
+    FuClass.ALU: "alu_op",
+    FuClass.MUL: "mul_op",
+    FuClass.FP: "fp_op",
+    FuClass.BRANCH: "branch_op",
+    FuClass.AGEN: "agen_op",
+    FuClass.MEM: None,  # charged through the cache hierarchy
+    FuClass.NONE: None,
+}
+
+
+class SimulationError(Exception):
+    """Raised when the timing model reaches an inconsistent state."""
+
+
+class _Decoded:
+    """Per-static-instruction decode cache (built once per simulation)."""
+
+    __slots__ = ("is_load", "is_store", "is_mem", "is_control",
+                 "is_cond_branch", "src_regs", "dest_reg", "fu",
+                 "latency", "is_partial", "rs", "rt", "rd", "uop_estimate")
+
+    def __init__(self, instr: Instruction, params: CoreParams):
+        self.is_load = instr.is_load
+        self.is_store = instr.is_store
+        self.is_mem = instr.is_mem
+        self.is_control = instr.is_control
+        self.is_cond_branch = instr.is_cond_branch
+        self.src_regs = instr.source_regs()
+        self.dest_reg = instr.dest_reg()
+        self.fu = instr.fu_class
+        self.is_partial = instr.is_mem and instr.is_partial_word
+        self.rs = instr.rs
+        self.rt = instr.rt
+        self.rd = instr.rd
+        if self.fu is FuClass.MUL:
+            self.latency = params.mul_latency
+        elif self.fu is FuClass.FP:
+            self.latency = params.fp_latency
+        elif self.fu is FuClass.BRANCH:
+            self.latency = params.branch_latency
+        else:
+            self.latency = params.alu_latency
+        if not self.is_mem:
+            self.uop_estimate = 1
+        elif self.is_store:
+            self.uop_estimate = 2
+        else:
+            self.uop_estimate = 5  # worst case: AGI+LOAD+CMP+CMOV+CMOV
+
+
+def _extract_forward(store: TraceEntry, load: TraceEntry) -> Optional[int]:
+    """Value a load receives when forwarded from ``store``.
+
+    Returns None when the store does not cover every byte of the load (the
+    forwarded register would contain garbage for the uncovered bytes; the
+    retire-time check of paper Fig. 11 catches this via re-execution).
+    """
+    s_lo, s_hi = store.mem_addr, store.mem_addr + store.mem_size
+    l_lo, l_hi = load.mem_addr, load.mem_addr + load.mem_size
+    if s_lo <= l_lo and l_hi <= s_hi:
+        shift = 8 * (l_lo - s_lo)
+        mask = (1 << (8 * load.mem_size)) - 1
+        return (store.value >> shift) & mask
+    return None
+
+
+def _covers(store: TraceEntry, load: TraceEntry) -> bool:
+    return (store.word_addr == load.word_addr
+            and (store.bab & load.bab) == load.bab)
+
+
+class Simulator:
+    """One simulation run: a trace executed under one configuration."""
+
+    def __init__(self, program: Program, trace: List[TraceEntry],
+                 params: CoreParams):
+        self.program = program
+        self.trace = trace
+        self.params = params
+        self.model = params.model
+        self.stats = SimStats()
+
+        # Substrates.
+        self.hier = MemoryHierarchy(
+            params.l1d, params.l2, params.dram_latency, params.dram_banks,
+            self.stats, mshrs=params.l1_mshrs,
+            prefetch_next_line=params.prefetch_next_line,
+            dram_row_hit_latency=params.dram_row_hit_latency)
+        self.tlb = Tlb()
+        # The baseline keeps memory addresses in LSQ entries rather than
+        # physical registers (paper Section IV-A.e): its AGI MicroOps draw
+        # from an auxiliary register space sized like the ROB.
+        aux = params.rob_entries if params.model is ModelKind.BASELINE else 0
+        self.prf = PhysRegFile(params.num_pregs, aux_regs=aux)
+        self.ssn = SsnState()
+        self.srb = StoreRegisterBuffer()
+        if params.predictor.tssbf_tagged:
+            self.tssbf = Tssbf(params.predictor.tssbf_entries,
+                               params.predictor.tssbf_assoc)
+        else:
+            self.tssbf = UntaggedSsbf(params.predictor.tssbf_entries)
+        if params.use_tage_predictor:
+            self.sdp = TageDistancePredictor(params.predictor)
+        else:
+            self.sdp = StoreDistancePredictor(params.predictor)
+        self.storesets = StoreSets()
+        self.sb = StoreBuffer(params.store_buffer_entries, params.consistency,
+                              params.store_coalescing,
+                              rmo_parallelism=params.dram_banks)
+
+        # Architectural memory image evolved by *committed* stores only.
+        self.timing_mem = SparseMemory()
+        self.timing_mem.load_segment(program.data_base, program.data)
+
+        # Rename state.
+        self.rename_map: List[int] = []
+        self.committed_map: List[int] = []
+        self._init_rename_map()
+
+        # In-flight state.
+        self.rob: Deque[DynInstr] = deque()
+        self.iq_occupancy = 0
+        self.waiters: Dict[int, List[Uop]] = {}
+        self.ready_heap: List[Tuple[int, Uop]] = []
+        self.event_heap: List[Tuple[int, int, Uop]] = []
+        self.blocked_loads: List[Uop] = []
+        self.uop_seq = 0
+
+        # Fetch state.
+        self.fetch_index = 0
+        self.fetch_buffer: Deque[Tuple[int, int]] = deque()  # (avail, index)
+        self.fetch_blocked_until = 0
+        self.pending_branch: Optional[DynInstr] = None
+        self._pending_branch_index: Optional[int] = None
+
+        # Baseline bookkeeping.
+        self.baseline_stores: List[DynInstr] = []
+        self.inflight_store_by_id: Dict[int, DynInstr] = {}
+
+        # Oracle bookkeeping.
+        self.commit_cycle: Dict[int, int] = {}    # trace index -> cycle
+        self.rename_cycle_of: Dict[int, int] = {}
+
+        # Precomputed front-end behaviour (deterministic on the committed
+        # path, so squash/refetch replays identical predictions).
+        self._mispredicted = self._precompute_branch_outcomes()
+        self._history = self._precompute_history()
+
+        # Per-static-instruction decode cache and fast energy counter.
+        self._dec: Dict[int, _Decoded] = {}
+        for entry in trace:
+            key = id(entry.instr)
+            if key not in self._dec:
+                self._dec[key] = _Decoded(entry.instr, params)
+        self._ee = self.stats.energy_events
+
+        self.cycle = 0
+        self._retire_stall_this_cycle = False
+        # Optional per-cycle callback (e.g. external invalidation traffic
+        # for the Section IV-F consistency experiments).
+        self.tick_hook = None
+
+    # ------------------------------------------------------------------
+    # Setup helpers.
+    # ------------------------------------------------------------------
+
+    def _init_rename_map(self) -> None:
+        self.rename_map = []
+        for logical in range(NUM_LOGICAL_REGS):
+            preg = self.prf.allocate()
+            self.prf.set_ready(preg, 0)
+            self.rename_map.append(preg)
+        self.committed_map = list(self.rename_map)
+
+    def _precompute_branch_outcomes(self) -> List[bool]:
+        """Per trace entry: did the front end mispredict it?"""
+        bpred = BranchPredictor(self.params.bpred_table_bits,
+                                self.params.btb_entries)
+        flags = []
+        for entry in self.trace:
+            if entry.instr.is_control:
+                hit = bpred.predict_and_update(
+                    entry.pc, entry.instr, entry.taken, entry.next_pc)
+                flags.append(not hit)
+            else:
+                flags.append(False)
+        return flags
+
+    def _precompute_history(self) -> List[int]:
+        """Global branch history (as seen at rename) per trace index."""
+        bits = self.params.predictor.history_bits
+        mask = (1 << bits) - 1
+        history = 0
+        values = []
+        for entry in self.trace:
+            values.append(history)
+            if entry.instr.is_cond_branch:
+                history = ((history << 1) | int(entry.taken)) & mask
+        return values
+
+    # ------------------------------------------------------------------
+    # Main loop.
+    # ------------------------------------------------------------------
+
+    def run(self, max_cycles: int = 200_000_000) -> SimStats:
+        total = len(self.trace)
+        while (self.fetch_index < total or self.rob or self.fetch_buffer
+               or not self.sb.is_empty):
+            if self.cycle > max_cycles:
+                raise SimulationError("cycle cap reached; likely deadlock at "
+                                      "trace index %d" % (self.rob[0].rob_id
+                                                          if self.rob else -1))
+            if self.tick_hook is not None:
+                self.tick_hook(self)
+            self._commit_stores()
+            self._writeback()
+            self._retire()
+            self._issue()
+            self._rename()
+            self._fetch()
+            self.cycle += 1
+        self.stats.cycles = self.cycle
+        self.stats.instructions = total
+        return self.stats
+
+    # ------------------------------------------------------------------
+    # Stage: store commit (store buffer drain).
+    # ------------------------------------------------------------------
+
+    def _commit_stores(self) -> None:
+        completed = self.sb.tick(self.cycle, self.hier)
+        for entry in completed:
+            self.stats.energy_event("store_buffer_op")
+            for trace_index in entry.trace_indices:
+                te = self.trace[trace_index]
+                self.timing_mem.write(te.mem_addr, te.value, te.mem_size)
+                self.commit_cycle[trace_index] = self.cycle
+                instr = self.inflight_store_by_id.pop(trace_index, None)
+                if instr is not None and instr.store is not None:
+                    instr.store.committed = True
+                    for preg in instr.store.holds:
+                        self.prf.dec_consumer(preg)
+                    instr.store.holds = []
+                    if instr in self.baseline_stores:
+                        self.baseline_stores.remove(instr)
+            for ssn in entry.ssns:
+                self.srb.invalidate(ssn)
+                self.ssn.on_commit(ssn)
+
+    # ------------------------------------------------------------------
+    # Stage: writeback (execution completions).
+    # ------------------------------------------------------------------
+
+    def _writeback(self) -> None:
+        heap = self.event_heap
+        while heap and heap[0][0] <= self.cycle:
+            _, _, uop = heapq.heappop(heap)
+            if uop.dead:
+                continue
+            uop.state = UopState.DONE
+            self._complete_uop(uop)
+
+    def _complete_uop(self, uop: Uop) -> None:
+        instr = uop.instr
+        if uop.kind is UopKind.LOAD and not uop.instr.dead:
+            self._complete_load_access(uop)
+        elif uop.kind is UopKind.CMP:
+            li = instr.load
+            dep = self.trace[li.dep_trace_index]
+            li.predicate = _covers(dep, instr.trace)
+        elif uop.kind is UopKind.CMOV:
+            if uop.cmov_selected:
+                self._finalize_predicated_value(instr)
+            else:
+                # The unselected CMOV acts as a NOP and writes nothing.
+                return self._maybe_set_ready(uop, write=False)
+        elif uop.kind is UopKind.STORE:
+            # Baseline: address + data now visible in the store queue.
+            instr.store.sq_entry_done = True
+            self.stats.energy_event("lq_cam_search")
+        elif uop.kind is UopKind.BRANCH and instr.mispredicted_branch:
+            if self.pending_branch is instr:
+                # Redirect resolved: refill the front end after the usual
+                # pipeline-depth bubble.
+                self.pending_branch = None
+                self.fetch_blocked_until = (
+                    self.cycle + self.params.frontend_depth)
+        self._maybe_set_ready(uop)
+
+    def _maybe_set_ready(self, uop: Uop, write: bool = True) -> None:
+        if uop.dest is None or not uop.writes_dest or not write:
+            return
+        if uop.kind is UopKind.CMOV and not uop.cmov_selected:
+            return
+        self._ee["rf_write"] += 1
+        self._set_preg_ready(uop.dest, self.cycle)
+
+    def _set_preg_ready(self, preg: int, cycle: int) -> None:
+        self.prf.set_ready(preg, cycle)
+        for waiter in self.waiters.pop(preg, []):
+            if waiter.dead:
+                continue
+            waiter.remaining_srcs -= 1
+            if waiter.remaining_srcs == 0 and waiter.state is UopState.WAITING:
+                waiter.state = UopState.READY
+                heapq.heappush(self.ready_heap, (waiter.seq, waiter))
+
+    def _complete_load_access(self, uop: Uop) -> None:
+        """A cache access returned data: sample value and SSN_commit."""
+        instr = uop.instr
+        li = instr.load
+        te = instr.trace
+        li.read_cycle = self.cycle
+        li.ssn_nvul = self.ssn.commit
+        value = self.timing_mem.read(te.mem_addr, te.mem_size)
+        if li.mode is LoadKind.PREDICATED:
+            # Goes to the $ldtmp register; the CMOV pair selects later.
+            li.cache_value = value  # type: ignore[attr-defined]
+        elif not li.value_from_store:
+            li.obtained_value = value
+
+    def _finalize_predicated_value(self, instr: DynInstr) -> None:
+        li = instr.load
+        if li.predicate:
+            dep = self.trace[li.dep_trace_index]
+            li.obtained_value = _extract_forward(dep, instr.trace)
+            li.value_from_store = True
+        else:
+            li.obtained_value = getattr(li, "cache_value", None)
+            li.value_from_store = False
+
+    # ------------------------------------------------------------------
+    # Stage: retire.
+    # ------------------------------------------------------------------
+
+    def _retire(self) -> None:
+        budget = self.params.retire_width
+        while budget > 0 and self.rob:
+            head = self.rob[0]
+            if not head.uops_done():
+                break
+            if head.result_preg is not None and not self.prf.is_ready(
+                    head.result_preg, self.cycle):
+                break
+
+            if head.is_load:
+                status = self._verify_load(head)
+                if status == "wait":
+                    self.stats.reexec_stall_cycles += 1
+                    break
+                violation = status == "violation"
+            else:
+                violation = False
+
+            if head.is_store:
+                if not self._retire_store(head):
+                    self.stats.sb_full_stall_cycles += 1
+                    break
+
+            self._retire_bookkeeping(head)
+            self.rob.popleft()
+            budget -= 1
+
+            if violation:
+                self.stats.dep_mispredictions += 1
+                self._squash_younger(head)
+                break
+
+    def _retire_bookkeeping(self, instr: DynInstr) -> None:
+        instr.retired = True
+        self._ee["rob_entry"] += 1
+        te = instr.trace
+        if self._dec[id(te.instr)].is_control:
+            self.stats.branches += 1
+            if instr.mispredicted_branch:
+                self.stats.branch_mispredicts += 1
+        # Rename-map commit + virtual release (paper Fig. 9).
+        for logical, new_preg, prev_preg in instr.renames:  # type: ignore
+            self.committed_map[logical] = new_preg
+            self.prf.dec_producer(prev_preg)
+        # Release verification holds.
+        if instr.load is not None:
+            for preg in instr.load.holds:
+                self.prf.dec_consumer(preg)
+            instr.load.holds = []
+        # Execution-time statistics.
+        ready = instr.result_ready_cycle(self.prf)
+        exec_time = max(0, (ready if ready is not None else instr.rename_cycle)
+                        - instr.rename_cycle)
+        self.stats.insn_exec_time_total += exec_time
+        if instr.is_load:
+            li = instr.load
+            self.stats.record_load(li.mode, exec_time, li.low_confidence)
+            if li.low_confidence:
+                self._classify_lowconf(instr)
+        if instr.is_store:
+            self.stats.stores += 1
+
+    def _classify_lowconf(self, instr: DynInstr) -> None:
+        """Paper Fig. 5: outcome of a low-confidence dependence prediction."""
+        li = instr.load
+        dep = instr.trace.dep_store
+        in_flight = (dep is not None and dep not in self.commit_cycle)
+        # A store that committed before the load renamed was not in flight.
+        if dep is not None and dep in self.commit_cycle:
+            in_flight = self.commit_cycle[dep] > instr.rename_cycle
+        if not in_flight:
+            outcome = LowConfOutcome.INDEP_STORE
+        elif dep == li.dep_trace_index:
+            outcome = LowConfOutcome.CORRECT
+        else:
+            outcome = LowConfOutcome.DIFF_STORE
+        self.stats.lowconf_outcome[outcome] += 1
+
+    def _retire_store(self, instr: DynInstr) -> bool:
+        """Move a retiring store to the store buffer; False if it is full."""
+        te = instr.trace
+        if not self.sb.can_accept(te.word_addr):
+            return False
+        si = instr.store
+        self.sb.push(si.ssn, te.word_addr, te.index)
+        self.stats.energy_event("store_buffer_op")
+        si.retired = True
+        self.ssn.on_retire(si.ssn)
+        if self.model is not ModelKind.BASELINE:
+            self.tssbf.store_retire(te.word_addr, si.ssn, te.bab)
+            self.stats.energy_event("tssbf_access")
+        else:
+            self.storesets.store_complete(te.pc, instr.rob_id)
+        return True
+
+    # -- load verification -------------------------------------------------
+
+    def _verify_load(self, head: DynInstr) -> str:
+        """Returns "ok", "wait" (stall retire) or "violation"."""
+        li = head.load
+        te = head.trace
+
+        if self.model is ModelKind.PERFECT:
+            return "ok"
+
+        if self.model is ModelKind.BASELINE:
+            if li.obtained_value != te.value:
+                dep = te.dep_store
+                if dep is not None:
+                    self.storesets.on_violation(te.pc, self.trace[dep].pc)
+                    self.stats.energy_event("store_sets_access")
+                li.violation = True
+                return "violation"
+            return "ok"
+
+        # NoSQ / DMDP: SVW + T-SSBF verification (paper Table II).
+        if li.reexec_scheduled:
+            if self.cycle < li.reexec_done_cycle:
+                return "wait"
+            return self._finish_reexecution(head)
+
+        if li.tssbf_result is None:
+            self.stats.energy_event("tssbf_access")
+            li.tssbf_result = self.tssbf.load_lookup(te.word_addr, te.bab)
+        result = li.tssbf_result
+
+        need_reexec = False
+        if li.value_from_store:
+            if not result.matched or result.ssn != li.ssn_byp:
+                need_reexec = True
+            elif (result.store_bab & te.bab) != te.bab:
+                need_reexec = True  # partial coverage, paper Fig. 11
+            elif li.obtained_value is None:
+                need_reexec = True  # forward could not supply all bytes
+        else:
+            if result.ssn > (li.ssn_nvul or 0):
+                need_reexec = True
+
+        if not need_reexec:
+            self._train_predictor(head, correct=li.predicted
+                                  and result.matched
+                                  and result.ssn == li.ssn_byp,
+                                  reexecuted=False)
+            return "ok"
+
+        # Re-execution requires the store buffer to drain first.
+        if not self.sb.is_empty:
+            return "wait"
+        self.stats.reexecutions += 1
+        li.reexec_scheduled = True
+        li.reexec_done_cycle = self.hier.access(te.mem_addr, self.cycle)
+        return "wait" if li.reexec_done_cycle > self.cycle else \
+            self._finish_reexecution(head)
+
+    def _finish_reexecution(self, head: DynInstr) -> str:
+        li = head.load
+        te = head.trace
+        reloaded = self.timing_mem.read(te.mem_addr, te.mem_size)
+        changed = reloaded != li.obtained_value
+        if not changed:
+            self.stats.silent_reexecutions += 1
+        self._train_predictor(head, correct=False, reexecuted=True)
+        if changed:
+            li.violation = True
+            return "violation"
+        return "ok"
+
+    def _train_predictor(self, head: DynInstr, correct: bool,
+                         reexecuted: bool) -> None:
+        li = head.load
+        te = head.trace
+        result = li.tssbf_result
+        actual_distance = None
+        if result is not None and result.matched:
+            actual_distance = self.ssn.retire - result.ssn
+        self.stats.energy_event("distance_pred_access")
+        if li.predicted:
+            if correct:
+                self.sdp.train_correct(te.pc, li.history)
+            else:
+                self.sdp.train_mispredict(te.pc, li.history, actual_distance,
+                                          self.params.confidence_policy)
+        elif reexecuted:
+            # Learn a new dependence.  With the silent-store-aware policy
+            # (paper Section IV-C.a) every re-execution trains the
+            # predictor; otherwise only value-changing exceptions do.
+            changed = self.timing_mem.read(te.mem_addr, te.mem_size) \
+                != li.obtained_value
+            if self.params.silent_store_aware or changed:
+                self.sdp.train_mispredict(te.pc, li.history, actual_distance,
+                                          self.params.confidence_policy)
+
+    # -- squash ------------------------------------------------------------
+
+    def _squash_younger(self, retired_load: DynInstr) -> None:
+        """Full recovery: flush everything younger than the violating load."""
+        self.stats.energy_event("recovery_overhead")
+        for instr in self.rob:
+            instr.dead = True
+            for uop in instr.uops:
+                uop.dead = True
+            if instr.is_store and instr.store is not None:
+                self.inflight_store_by_id.pop(instr.rob_id, None)
+                if instr in self.baseline_stores:
+                    self.baseline_stores.remove(instr)
+        self.rob.clear()
+        self.iq_occupancy = 0
+        self.blocked_loads = [u for u in self.blocked_loads if not u.dead]
+        self.fetch_buffer.clear()
+        self.pending_branch = None
+        self._pending_branch_index = None
+
+        # SSN / store register buffer rollback: every surviving store has
+        # retired (the violating load was at the ROB head).
+        self.srb.remove_squashed(self.ssn.retire)
+        self.ssn.rewind_rename(self.ssn.retire)
+
+        # Rebuild physical register state from the committed map plus the
+        # registers held by retired-but-uncommitted stores.
+        live_producers = Counter(self.committed_map)
+        live_consumers = Counter()
+        for instr in list(self.inflight_store_by_id.values()):
+            if instr.store is not None:
+                for preg in instr.store.holds:
+                    live_consumers[preg] += 1
+        self.prf.rebuild(dict(live_producers), dict(live_consumers))
+        self.rename_map = list(self.committed_map)
+        self.waiters.clear()
+
+        # Refetch from the instruction after the load.
+        self.fetch_index = retired_load.rob_id + 1
+        self.fetch_blocked_until = self.cycle + self.params.recovery_penalty
+        # Charge wasted front-end energy for the refill window.
+        self.stats.energy_event(
+            "fetch_decode", self.params.frontend_depth)
+
+    # ------------------------------------------------------------------
+    # Stage: issue.
+    # ------------------------------------------------------------------
+
+    def _fu_budget(self) -> Dict[FuClass, int]:
+        p = self.params
+        return {
+            FuClass.ALU: p.alu_units,
+            FuClass.MUL: p.mul_units,
+            FuClass.FP: p.fp_units,
+            FuClass.BRANCH: p.branch_units,
+            FuClass.AGEN: p.agen_units,
+            FuClass.MEM: p.load_ports,
+            FuClass.NONE: p.alu_units,
+        }
+
+    def _issue(self) -> None:
+        budget = self.params.issue_width
+        fu_budget = self._fu_budget()
+        store_ports = self.params.store_ports
+
+        # Re-check previously blocked loads.
+        if self.blocked_loads:
+            still_blocked = []
+            for uop in self.blocked_loads:
+                if uop.dead:
+                    continue
+                if self._load_issue_blocked(uop):
+                    still_blocked.append(uop)
+                else:
+                    heapq.heappush(self.ready_heap, (uop.seq, uop))
+            self.blocked_loads = still_blocked
+
+        deferred: List[Tuple[int, Uop]] = []
+        while budget > 0 and self.ready_heap:
+            seq, uop = heapq.heappop(self.ready_heap)
+            if uop.dead or uop.state is not UopState.READY:
+                continue
+            fu = uop.fu
+            if uop.kind is UopKind.STORE:
+                if store_ports <= 0:
+                    deferred.append((seq, uop))
+                    continue
+            elif fu_budget.get(fu, 0) <= 0:
+                deferred.append((seq, uop))
+                continue
+            if uop.kind is UopKind.LOAD and self._load_issue_blocked(uop):
+                self.blocked_loads.append(uop)
+                continue
+
+            if uop.kind is UopKind.STORE:
+                store_ports -= 1
+            else:
+                fu_budget[fu] -= 1
+            budget -= 1
+            self._start_execution(uop)
+
+        for item in deferred:
+            heapq.heappush(self.ready_heap, item)
+
+    def _load_issue_blocked(self, uop: Uop) -> bool:
+        """Model-specific conditions beyond register readiness."""
+        instr = uop.instr
+        li = instr.load
+        if li is None:
+            return False
+        if self.model is ModelKind.NOSQ and li.mode is LoadKind.DELAYED:
+            # Delayed until the predicted colliding store commits.
+            return self.ssn.commit < li.ssn_byp
+        if self.model is ModelKind.BASELINE:
+            # Store-set ordering: wait for the flagged store to execute.
+            wait_id = getattr(li, "storeset_wait", None)
+            if wait_id is not None:
+                store = self.inflight_store_by_id.get(wait_id)
+                if (store is not None and not store.dead
+                        and store.store is not None
+                        and not store.store.sq_entry_done
+                        and not store.store.retired):
+                    return True
+            # Forward-stall: waiting for a partially-overlapping store.
+            block = getattr(li, "forward_block", None)
+            if block is not None:
+                if block in self.inflight_store_by_id:
+                    return True
+                li.forward_block = None  # type: ignore[attr-defined]
+        return False
+
+    def _start_execution(self, uop: Uop) -> None:
+        uop.state = UopState.ISSUED
+        uop.issue_cycle = self.cycle
+        self.iq_occupancy -= 1
+        ee = self._ee
+        ee["iq_issue"] += 1
+        ee["rf_read"] += len(uop.srcs)
+        energy = _FU_ENERGY.get(uop.fu)
+        if energy:
+            ee[energy] += 1
+
+        if uop.kind is UopKind.LOAD:
+            done = self._start_load(uop)
+            if done is None:
+                return  # re-blocked (baseline forwarding stall)
+        elif uop.kind is UopKind.AGI:
+            te = uop.instr.trace
+            done = self.cycle + uop.latency + self.tlb.access_penalty(
+                te.mem_addr if te.mem_addr is not None else 0)
+        else:
+            done = self.cycle + uop.latency
+        heapq.heappush(self.event_heap, (done, uop.seq, uop))
+        # Source values are read out at execution: consumer counters drop
+        # (the paper's early-release counting, here used to *delay* release).
+        for src in uop.srcs:
+            self.prf.dec_consumer(src)
+
+    def _start_load(self, uop: Uop) -> Optional[int]:
+        """Begin a load's cache/SQ access; returns the completion cycle, or
+        None when the load must re-block (baseline forwarding stall)."""
+        instr = uop.instr
+        li = instr.load
+        te = instr.trace
+        if self.model is ModelKind.BASELINE:
+            self.stats.energy_event("sq_cam_search")
+            forward = self._search_store_queue(instr)
+            if forward is not None:
+                store_instr, value = forward
+                if value is None:
+                    # Partial coverage: stall until that store commits, then
+                    # retry through the cache.
+                    li.forward_block = store_instr.rob_id
+                    uop.state = UopState.READY
+                    self.iq_occupancy += 1
+                    self.blocked_loads.append(uop)
+                    return None
+                li.obtained_value = value
+                li.value_from_store = True
+                li.mode = LoadKind.FORWARDED
+                return self.cycle + self.params.sq_search_latency
+        return self.hier.access(te.mem_addr, self.cycle)
+
+    def _search_store_queue(self, load: DynInstr):
+        """Baseline SQ+SB search: youngest older store with a known,
+        overlapping address.  Returns (store, value|None) or None."""
+        te = load.trace
+        l_lo, l_hi = te.mem_addr, te.mem_addr + te.mem_size
+        best = None
+        for store in reversed(self.baseline_stores):
+            if store.dead or store.rob_id > load.rob_id:
+                continue
+            si = store.store
+            if si.committed:
+                continue
+            if not (si.sq_entry_done or si.retired):
+                continue  # address unknown: speculate past it
+            ste = store.trace
+            s_lo, s_hi = ste.mem_addr, ste.mem_addr + ste.mem_size
+            if s_lo < l_hi and l_lo < s_hi:
+                best = store
+                break
+        if best is None:
+            return None
+        return best, _extract_forward(best.trace, te)
+
+    # ------------------------------------------------------------------
+    # Stage: rename / dispatch.
+    # ------------------------------------------------------------------
+
+    def _rename(self) -> None:
+        budget = self.params.rename_width
+        while budget > 0 and self.fetch_buffer:
+            avail, index = self.fetch_buffer[0]
+            if avail > self.cycle:
+                break
+            if len(self.rob) >= self.params.rob_entries:
+                break
+            te = self.trace[index]
+            uop_count = self._dec[id(te.instr)].uop_estimate
+            if uop_count > budget and budget < self.params.rename_width:
+                break  # does not fit in what is left of this cycle
+            if self.iq_occupancy + uop_count > self.params.iq_entries:
+                break
+            if self.prf.free_count < uop_count + 1:
+                break  # conservative free-register check
+            if (self.model is ModelKind.BASELINE
+                    and self._dec[id(te.instr)].is_mem
+                    and self.prf.free_aux_count < 2):
+                break
+            self.fetch_buffer.popleft()
+            instr = self._crack_and_rename(te)
+            self.rob.append(instr)
+            budget -= len(instr.uops) if instr.uops else 1
+
+    # -- rename plumbing -----------------------------------------------------
+
+    def _new_uop(self, instr: DynInstr, kind: UopKind, fu: FuClass,
+                 latency: int, srcs: Tuple[int, ...],
+                 dest: Optional[int]) -> Uop:
+        uop = Uop(seq=self.uop_seq, kind=kind, fu=fu, latency=latency,
+                  srcs=srcs, dest=dest, prev_preg=None, instr=instr)
+        self.uop_seq += 1
+        instr.uops.append(uop)
+        self.stats.uops += 1
+        self._ee["rename"] += 1
+        self._ee["iq_dispatch"] += 1
+        self.iq_occupancy += 1
+        # Source readiness / wakeup registration.
+        ready_cycle = self.prf.ready_cycle
+        cycle = self.cycle
+        for src in srcs:
+            ready = ready_cycle[src]
+            if ready is None or ready > cycle:
+                self.waiters.setdefault(src, []).append(uop)
+                uop.remaining_srcs += 1
+        if uop.remaining_srcs == 0:
+            uop.state = UopState.READY
+            heapq.heappush(self.ready_heap, (uop.seq, uop))
+        return uop
+
+    def _rename_dest(self, instr: DynInstr, logical: int,
+                     aux: bool = False) -> int:
+        """Allocate a new physical register for a destination."""
+        preg = self.prf.allocate(aux=aux)
+        if preg is None:
+            raise SimulationError("physical register underflow")
+        prev = self.rename_map[logical]
+        self.rename_map[logical] = preg
+        instr.renames.append((logical, preg, prev))  # type: ignore
+        return preg
+
+    def _rename_dest_shared(self, instr: DynInstr, logical: int,
+                            preg: int) -> None:
+        """Map a destination onto an *existing* register (cloaking, the
+        second CMOV): increments the producer counter instead."""
+        prev = self.rename_map[logical]
+        self.rename_map[logical] = preg
+        self.prf.add_producer(preg)
+        instr.renames.append((logical, preg, prev))  # type: ignore
+
+    def _src(self, logical: int) -> int:
+        return self.rename_map[logical]
+
+    # -- cracking -----------------------------------------------------------------
+
+    def _crack_and_rename(self, te: TraceEntry) -> DynInstr:
+        instr = DynInstr(rob_id=te.index, trace=te,
+                         rename_cycle=self.cycle)
+        self.rename_cycle_of[te.index] = self.cycle
+        dec = self._dec[id(te.instr)]
+
+        if dec.is_load:
+            self._crack_load(instr)
+        elif dec.is_store:
+            self._crack_store(instr)
+        elif dec.is_control:
+            rename_map = self.rename_map
+            srcs = tuple(rename_map[r] for r in dec.src_regs)
+            dest = None
+            if dec.dest_reg is not None:
+                dest = self._rename_dest(instr, dec.dest_reg)
+                instr.result_preg = dest
+            self._new_uop(instr, UopKind.BRANCH, FuClass.BRANCH,
+                          dec.latency, srcs, dest)
+            instr.mispredicted_branch = self._mispredicted[te.index]
+            if self._pending_branch_index == te.index:
+                self.pending_branch = instr
+                self._pending_branch_index = None
+            self._ee["bpred_access"] += 1
+        else:
+            rename_map = self.rename_map
+            srcs = tuple(rename_map[r] for r in dec.src_regs)
+            dest = None
+            if dec.dest_reg is not None:
+                dest = self._rename_dest(instr, dec.dest_reg)
+                instr.result_preg = dest
+            self._new_uop(instr, UopKind.ALU, dec.fu, dec.latency,
+                          srcs, dest)
+        # Consumer counting for every renamed source operand.
+        add_consumer = self.prf.add_consumer
+        for uop in instr.uops:
+            for src in uop.srcs:
+                add_consumer(src)
+        return instr
+
+    def _crack_agi(self, instr: DynInstr) -> int:
+        """The address-generation MicroOp; returns the address register."""
+        base = self._dec[id(instr.trace.instr)].rs
+        srcs = (self.rename_map[base],)
+        addr_preg = self._rename_dest(
+            instr, REG_AGI, aux=self.model is ModelKind.BASELINE)
+        self._new_uop(instr, UopKind.AGI, FuClass.AGEN,
+                      self.params.agen_latency, srcs, addr_preg)
+        return addr_preg
+
+    def _crack_store(self, instr: DynInstr) -> None:
+        te = instr.trace
+        addr_preg = self._crack_agi(instr)
+        data_preg = self.rename_map[self._dec[id(te.instr)].rt]
+        ssn = self.ssn.next_rename()
+        si = StoreInfo(ssn=ssn, data_preg=data_preg, addr_preg=addr_preg)
+        instr.store = si
+        self.inflight_store_by_id[instr.rob_id] = instr
+
+        if self.model is ModelKind.BASELINE:
+            # The SQ-entry MicroOp makes address+data searchable.
+            sq_uop = self._new_uop(instr, UopKind.STORE, FuClass.MEM, 1,
+                                   (addr_preg, data_preg), None)
+            self.stats.energy_event("sq_write")
+            self.baseline_stores.append(instr)
+            prev = self.storesets.store_rename(te.pc, instr.rob_id)
+            self.stats.energy_event("store_sets_access")
+            si.store_set_prev = prev
+        else:
+            # Store-queue-free: no access MicroOp.  The data and address
+            # registers are read at commit, so their lifetimes extend
+            # (consumer counter holds, paper Section IV-B.a).
+            self.srb.add(ssn, data_preg, addr_preg, te.index)
+            for preg in (data_preg, addr_preg):
+                self.prf.add_consumer(preg)
+                si.holds.append(preg)
+
+    def _crack_load(self, instr: DynInstr) -> None:
+        te = instr.trace
+        addr_preg = self._crack_agi(instr)
+        model = self.model
+
+        if model is ModelKind.BASELINE:
+            li = LoadInfo(mode=LoadKind.DIRECT)
+            instr.load = li
+            li.storeset_wait = self.storesets.load_rename(te.pc)
+            self._ee["store_sets_access"] += 1
+            dest = self._rename_dest(instr, self._dec[id(te.instr)].rd)
+            instr.result_preg = dest
+            self._new_uop(instr, UopKind.LOAD, FuClass.MEM, 0,
+                          (addr_preg,), dest)
+            return
+
+        if model is ModelKind.PERFECT:
+            self._crack_load_perfect(instr, addr_preg)
+            return
+
+        # NoSQ / DMDP: consult the store distance predictor at rename.
+        history = self._history[te.index]
+        self._ee["distance_pred_access"] += 1
+        prediction = self.sdp.predict(te.pc, history)
+        li = LoadInfo(mode=LoadKind.DIRECT, history=history)
+        instr.load = li
+
+        entry = None
+        if prediction is not None:
+            ssn_byp = self.ssn.rename - prediction.distance
+            if ssn_byp > self.ssn.commit:
+                entry = self.srb.lookup(ssn_byp)
+            if entry is not None:
+                li.predicted = True
+                li.ssn_byp = ssn_byp
+                li.dep_trace_index = entry.trace_index
+                self.stats.dep_predictions += 1
+
+        if entry is None:
+            # Independent (or the predicted store already committed):
+            # direct cache access, verified by SVW at retire.
+            dest = self._rename_dest(instr, self._dec[id(te.instr)].rd)
+            instr.result_preg = dest
+            self._new_uop(instr, UopKind.LOAD, FuClass.MEM, 0,
+                          (addr_preg,), dest)
+            return
+
+        threshold = self.params.predictor.confidence_threshold
+        high_confidence = prediction.confidence > threshold
+        # Paper Section IV-D: partial-word loads are prohibited from memory
+        # cloaking in DMDP (alignment / sign extension) and are forced to
+        # predication regardless of confidence; NoSQ instead inserts a
+        # shift&mask fix-up and may still bypass them.
+        if model is ModelKind.DMDP and self._dec[id(te.instr)].is_partial:
+            self._crack_load_predicated(instr, entry, addr_preg,
+                                        low_confidence=not high_confidence)
+        elif high_confidence:
+            self._crack_load_bypass(instr, entry, addr_preg)
+        elif model is ModelKind.NOSQ:
+            self._crack_load_delayed(instr, entry, addr_preg)
+        else:
+            self._crack_load_predicated(instr, entry, addr_preg)
+
+    def _crack_load_perfect(self, instr: DynInstr, addr_preg: int) -> None:
+        te = instr.trace
+        li = LoadInfo(mode=LoadKind.DIRECT)
+        instr.load = li
+        dep = te.dep_store
+        dep_instr = self.inflight_store_by_id.get(dep) if dep is not None \
+            else None
+        if dep_instr is not None and not dep_instr.store.committed:
+            # Oracle cloaking from the in-flight producing store.
+            li.mode = LoadKind.BYPASS
+            li.value_from_store = True
+            li.obtained_value = te.value
+            data_preg = dep_instr.store.data_preg
+            self._rename_dest_shared(instr, self._dec[id(te.instr)].rd,
+                                     data_preg)
+            instr.result_preg = data_preg
+            li.holds.append(data_preg)
+            self.prf.add_consumer(data_preg)
+        else:
+            dest = self._rename_dest(instr, self._dec[id(te.instr)].rd)
+            instr.result_preg = dest
+            self._new_uop(instr, UopKind.LOAD, FuClass.MEM, 0,
+                          (addr_preg,), dest)
+
+    def _crack_load_bypass(self, instr: DynInstr, entry, addr_preg: int) -> None:
+        """Memory cloaking (paper Fig. 7(c))."""
+        te = instr.trace
+        li = instr.load
+        li.mode = LoadKind.BYPASS
+        li.value_from_store = True
+        self.stats.cloaked_loads += 1
+        dep = self.trace[entry.trace_index]
+        li.obtained_value = _extract_forward(dep, te)
+        data_preg = entry.data_preg
+        # Hold the store's data register for retire-time verification.
+        self.prf.add_consumer(data_preg)
+        li.holds.append(data_preg)
+        if self._dec[id(te.instr)].is_partial:
+            # NoSQ partial-word bypass needs a shift&mask fix-up MicroOp
+            # (paper Section IV-D); DMDP never cloaks partial words.
+            dest = self._rename_dest(instr, self._dec[id(te.instr)].rd)
+            instr.result_preg = dest
+            self._new_uop(instr, UopKind.SHIFTMASK, FuClass.ALU,
+                          self.params.alu_latency, (data_preg,), dest)
+        else:
+            self._rename_dest_shared(instr, self._dec[id(te.instr)].rd,
+                                     data_preg)
+            instr.result_preg = data_preg
+
+    def _crack_load_delayed(self, instr: DynInstr, entry, addr_preg: int) -> None:
+        """NoSQ low-confidence: wait for the predicted store to commit."""
+        li = instr.load
+        li.mode = LoadKind.DELAYED
+        li.low_confidence = True
+        li.waiting_commit_ssn = li.ssn_byp
+        self.stats.delayed_loads += 1
+        dest = self._rename_dest(
+            instr, self._dec[id(instr.trace.instr)].rd)
+        instr.result_preg = dest
+        self._new_uop(instr, UopKind.LOAD, FuClass.MEM, 0,
+                      (addr_preg,), dest)
+
+    def _crack_load_predicated(self, instr: DynInstr, entry,
+                               addr_preg: int,
+                               low_confidence: bool = True) -> None:
+        """DMDP predication insertion (paper Fig. 8)."""
+        te = instr.trace
+        li = instr.load
+        li.mode = LoadKind.PREDICATED
+        li.low_confidence = low_confidence
+        self.stats.predicated_loads += 1
+
+        store_addr_preg = entry.addr_preg
+        store_data_preg = entry.data_preg
+
+        # LW $33 <- cache.
+        ldtmp_preg = self._rename_dest(instr, REG_LDTMP)
+        self._new_uop(instr, UopKind.LOAD, FuClass.MEM, 0,
+                      (addr_preg,), ldtmp_preg)
+        # CMP $34 <- (load addr == store addr), with shift/type info.
+        pred_preg = self._rename_dest(instr, REG_PRED)
+        self._new_uop(instr, UopKind.CMP, FuClass.ALU,
+                      self.params.alu_latency,
+                      (addr_preg, store_addr_preg), pred_preg)
+        # CMOV pair sharing one destination register.
+        dest = self._rename_dest(instr, self._dec[id(te.instr)].rd)
+        cmov_store = self._new_uop(instr, UopKind.CMOV, FuClass.ALU,
+                                   self.params.alu_latency,
+                                   (pred_preg, store_data_preg), dest)
+        self._rename_dest_shared(instr, self._dec[id(te.instr)].rd, dest)
+        cmov_cache = self._new_uop(instr, UopKind.CMOV, FuClass.ALU,
+                                   self.params.alu_latency,
+                                   (pred_preg, ldtmp_preg), dest)
+        instr.result_preg = dest
+        # The simulator knows the predicate outcome ahead of time; mark
+        # which CMOV will actually write the register.
+        dep = self.trace[entry.trace_index]
+        selected_store = _covers(dep, te)
+        cmov_store.cmov_selected = selected_store
+        cmov_cache.cmov_selected = not selected_store
+
+    # ------------------------------------------------------------------
+    # Stage: fetch.
+    # ------------------------------------------------------------------
+
+    def _fetch(self) -> None:
+        if self.cycle < self.fetch_blocked_until or self.pending_branch:
+            return
+        if len(self.fetch_buffer) >= 2 * self.params.fetch_width:
+            return
+        total = len(self.trace)
+        avail = self.cycle + 2  # fetch + decode depth
+        fetched = 0
+        while fetched < self.params.fetch_width and self.fetch_index < total:
+            index = self.fetch_index
+            te = self.trace[index]
+            self.fetch_buffer.append((avail, index))
+            self.fetch_index += 1
+            fetched += 1
+            self._ee["fetch_decode"] += 1
+            if self._dec[id(te.instr)].is_control:
+                if self._mispredicted[index]:
+                    # Stall fetch until this branch resolves; the resumption
+                    # cycle is set at branch completion.
+                    self._mark_pending_branch(index)
+                    break
+                if te.taken:
+                    break  # a taken branch ends the fetch group
+
+    def _mark_pending_branch(self, index: int) -> None:
+        # The branch has not been renamed yet; remember the index so the
+        # renamed DynInstr can be linked as the pending redirect.
+        self.fetch_blocked_until = 1 << 62
+        self._pending_branch_index = index
+
+    # ------------------------------------------------------------------
+    # External hooks.
+    # ------------------------------------------------------------------
+
+    def inject_invalidation(self, line_addr: int) -> None:
+        """Multi-core consistency hook (paper Section IV-F): another core
+        invalidated a line; all words update the T-SSBF with SSN_commit+1."""
+        self.hier.invalidate_line(line_addr)
+        self.tssbf.invalidate_line(line_addr, self.params.l1d.line_bytes,
+                                   self.ssn.commit)
+
+
+def simulate(program: Program, trace: List[TraceEntry],
+             params: CoreParams) -> SimStats:
+    """Run the timing model once and return its statistics."""
+    return Simulator(program, trace, params).run()

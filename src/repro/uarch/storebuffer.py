@@ -1,0 +1,136 @@
+"""Store buffer: retired stores waiting to update the cache.
+
+Store-queue-free architectures eliminate the *store queue* (speculative
+stores) but still need this post-retirement buffer to overlap store-miss
+latency and implement the consistency model (paper Sections I, IV-F, VI-e).
+Loads never search it.
+
+* **TSO**: stores leave the buffer strictly in program order, one at a time;
+  consecutive stores to the same word are coalesced into one entry
+  (paper Section V: "only consecutive stores are coalesced").
+* **RMO**: stores may commit out of order; several cache writes can be in
+  flight at once, which drains the buffer faster under store misses.
+
+When the buffer is full, stores cannot retire from the ROB and retire
+stalls (tracked by the pipeline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from .cachesim import MemoryHierarchy
+from .params import Consistency
+
+
+@dataclass
+class StoreBufferEntry:
+    """One (possibly coalesced) pending cache update."""
+
+    ssn: int                      # youngest SSN merged into this entry
+    word_addr: int
+    trace_indices: List[int] = field(default_factory=list)
+    ssns: List[int] = field(default_factory=list)
+    start_cycle: Optional[int] = None
+    done_cycle: Optional[int] = None
+
+    @property
+    def started(self) -> bool:
+        return self.start_cycle is not None
+
+
+class StoreBuffer:
+    """Bounded FIFO of retired stores draining into the cache hierarchy."""
+
+    def __init__(self, capacity: int, consistency: Consistency,
+                 coalescing: bool = True, rmo_parallelism: int = 4):
+        self.capacity = capacity
+        self.consistency = consistency
+        self.coalescing = coalescing
+        self.rmo_parallelism = rmo_parallelism
+        self.entries: List[StoreBufferEntry] = []
+        self.coalesced_stores = 0
+        self.peak_occupancy = 0
+
+    # -- occupancy ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.entries
+
+    def can_accept(self, word_addr: int) -> bool:
+        """Is there room for a store to this word (coalescing-aware)?"""
+        if self.coalescing and self._coalesce_target(word_addr) is not None:
+            return True
+        return len(self.entries) < self.capacity
+
+    def _coalesce_target(self, word_addr: int) -> Optional[StoreBufferEntry]:
+        """TSO coalescing: only the *youngest* (tail) entry may merge, and
+        only if its cache write has not started."""
+        if self.entries:
+            tail = self.entries[-1]
+            if tail.word_addr == word_addr and not tail.started:
+                return tail
+        return None
+
+    # -- push at store retire ------------------------------------------------------
+
+    def push(self, ssn: int, word_addr: int, trace_index: int) -> bool:
+        """Add a retiring store; returns False when the buffer is full."""
+        if self.coalescing:
+            target = self._coalesce_target(word_addr)
+            if target is not None:
+                target.ssn = max(target.ssn, ssn)
+                target.ssns.append(ssn)
+                target.trace_indices.append(trace_index)
+                self.coalesced_stores += 1
+                return True
+        if len(self.entries) >= self.capacity:
+            return False
+        self.entries.append(StoreBufferEntry(
+            ssn=ssn, word_addr=word_addr,
+            trace_indices=[trace_index], ssns=[ssn]))
+        self.peak_occupancy = max(self.peak_occupancy, len(self.entries))
+        return True
+
+    # -- draining -----------------------------------------------------------------
+
+    def tick(self, cycle: int,
+             hierarchy: MemoryHierarchy) -> List[StoreBufferEntry]:
+        """Advance the drain engine one cycle; returns entries whose cache
+        write completed this cycle (in completion order).
+
+        Under both models the buffer initiates the cache accesses of up to
+        ``rmo_parallelism`` pending entries at once -- this is the store
+        miss-level parallelism that makes a larger buffer worthwhile (paper
+        Section VI-e, citing store-MLP work [33]).  The difference is
+        commit order: **TSO** pops strictly from the head (a missing head
+        blocks younger, already-fetched stores from becoming visible),
+        while **RMO** lets any completed entry commit.
+        """
+        in_flight = sum(1 for e in self.entries
+                        if e.started and e.done_cycle > cycle)
+        for entry in self.entries:
+            if in_flight >= self.rmo_parallelism:
+                break
+            if not entry.started:
+                entry.start_cycle = cycle
+                entry.done_cycle = hierarchy.access(
+                    entry.word_addr, cycle, is_write=True)
+                in_flight += 1
+
+        if self.consistency is Consistency.TSO:
+            completed = []
+            while (self.entries and self.entries[0].started
+                   and self.entries[0].done_cycle <= cycle):
+                completed.append(self.entries.pop(0))
+        else:
+            completed = [e for e in self.entries
+                         if e.started and e.done_cycle <= cycle]
+            for entry in completed:
+                self.entries.remove(entry)
+        return completed

@@ -1,0 +1,92 @@
+"""Store Sets memory dependence predictor (Chrysos & Emer, ISCA '98).
+
+Used by the *baseline* model (paper Section V): loads and stores that have
+collided in the past are placed in a common store set; a load must wait for
+the most recent in-flight store of its set to execute before issuing.
+
+Structures:
+
+* **SSIT** (Store Set ID Table): PC-indexed, maps instructions to set IDs.
+* **LFST** (Last Fetched Store Table): set ID -> tag of the most recently
+  renamed store in that set (the pipeline supplies and interprets tags;
+  here they are opaque integers, typically the store's micro-op sequence
+  number).
+
+On a memory-order violation the offending load and store are merged into a
+common set (the classic assignment rules).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+_INVALID = -1
+
+
+class StoreSets:
+    """SSIT + LFST with the standard merge-on-violation policy."""
+
+    def __init__(self, ssit_entries: int = 2048, lfst_entries: int = 256):
+        self.ssit_entries = ssit_entries
+        self.lfst_entries = lfst_entries
+        self.ssit: List[int] = [_INVALID] * ssit_entries
+        self.lfst: List[Optional[int]] = [None] * lfst_entries
+        self._next_set_id = 0
+
+    def _ssit_index(self, pc: int) -> int:
+        return (pc >> 2) % self.ssit_entries
+
+    def _set_of(self, pc: int) -> int:
+        return self.ssit[self._ssit_index(pc)]
+
+    # -- rename-time interface ----------------------------------------------
+
+    def load_rename(self, pc: int) -> Optional[int]:
+        """Tag of the store this load must wait for, if any."""
+        ssid = self._set_of(pc)
+        if ssid == _INVALID:
+            return None
+        return self.lfst[ssid]
+
+    def store_rename(self, pc: int, tag: int) -> Optional[int]:
+        """Register a renamed store; returns the *previous* store tag of the
+        set (stores within a set also execute in order)."""
+        ssid = self._set_of(pc)
+        if ssid == _INVALID:
+            return None
+        previous = self.lfst[ssid]
+        self.lfst[ssid] = tag
+        return previous
+
+    def store_complete(self, pc: int, tag: int) -> None:
+        """Invalidate the LFST entry when the store leaves the window."""
+        ssid = self._set_of(pc)
+        if ssid != _INVALID and self.lfst[ssid] == tag:
+            self.lfst[ssid] = None
+
+    # -- violation training ----------------------------------------------------
+
+    def on_violation(self, load_pc: int, store_pc: int) -> None:
+        """Merge the colliding pair into one store set."""
+        load_ssid = self._set_of(load_pc)
+        store_ssid = self._set_of(store_pc)
+        if load_ssid == _INVALID and store_ssid == _INVALID:
+            ssid = self._allocate_set()
+            self.ssit[self._ssit_index(load_pc)] = ssid
+            self.ssit[self._ssit_index(store_pc)] = ssid
+        elif load_ssid != _INVALID and store_ssid == _INVALID:
+            self.ssit[self._ssit_index(store_pc)] = load_ssid
+        elif load_ssid == _INVALID and store_ssid != _INVALID:
+            self.ssit[self._ssit_index(load_pc)] = store_ssid
+        else:
+            # Both assigned: the smaller set ID wins (declawed merge rule).
+            winner = min(load_ssid, store_ssid)
+            self.ssit[self._ssit_index(load_pc)] = winner
+            self.ssit[self._ssit_index(store_pc)] = winner
+
+    def _allocate_set(self) -> int:
+        ssid = self._next_set_id
+        self._next_set_id = (self._next_set_id + 1) % self.lfst_entries
+        self.lfst[ssid] = None
+        return ssid

@@ -1,0 +1,44 @@
+"""TLB model for address-generation MicroOps.
+
+In DMDP the address-generation instruction (AGI) translates the virtual
+address while computing it, so the *physical* address lands in the address
+physical register and retire-time disambiguation needs no extra translation
+(paper Section IV-A.e).  The simulator uses an identity VA->PA mapping (we
+simulate a single flat address space); the TLB therefore only contributes
+*timing*: a hit is free, a miss charges a fixed walk penalty.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+PAGE_SHIFT = 12
+
+
+class Tlb:
+    """Fully-associative LRU TLB; identity translation, timing-only misses."""
+
+    def __init__(self, entries: int = 64, miss_penalty: int = 20):
+        self.entries = entries
+        self.miss_penalty = miss_penalty
+        self._pages: List[int] = []
+        self.hits = 0
+        self.misses = 0
+
+    def translate(self, address: int) -> int:
+        """Identity translation (flat address space)."""
+        return address
+
+    def access_penalty(self, address: int) -> int:
+        """Extra cycles for this translation: 0 on hit, walk penalty on miss."""
+        page = address >> PAGE_SHIFT
+        if page in self._pages:
+            self._pages.remove(page)
+            self._pages.append(page)
+            self.hits += 1
+            return 0
+        self.misses += 1
+        if len(self._pages) >= self.entries:
+            self._pages.pop(0)
+        self._pages.append(page)
+        return self.miss_penalty

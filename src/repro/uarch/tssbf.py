@@ -1,0 +1,142 @@
+"""Tagged Store Sequence Bloom Filter (T-SSBF).
+
+Paper Section IV-A.b: an N-way set-associative structure indexed by the
+hashed word address.  Each set behaves like a FIFO holding the SSNs of the
+last N *retired* stores that map to it, together with the store's Byte
+Access Bits (BAB).  A retiring load looks up its word address:
+
+* matching tag(s) with overlapping BAB -> the youngest (largest) SSN wins;
+* no match -> the *smallest* SSN in the set is returned as a conservative
+  lower bound (any colliding store must be at least that old);
+* empty set -> SSN 0 ("no store").
+
+The consistency hook (Section IV-F) lets another core's invalidation write
+``SSN_commit + 1`` for every word of the invalidated line so in-flight loads
+that already executed will re-execute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+@dataclass
+class TssbfResult:
+    """Outcome of a load lookup."""
+
+    ssn: int              # colliding store's SSN (or conservative bound)
+    store_bab: int        # BAB of the matched store (0 when no tag match)
+    matched: bool         # a tag+BAB match was found
+
+
+class Tssbf:
+    """The tagged store-sequence bloom filter."""
+
+    def __init__(self, entries: int = 128, assoc: int = 4,
+                 tag_bits: int = 25):
+        if entries % assoc:
+            raise ValueError("entries must be a multiple of assoc")
+        self.assoc = assoc
+        self.num_sets = entries // assoc
+        if self.num_sets & (self.num_sets - 1):
+            raise ValueError("number of sets must be a power of two")
+        self.tag_mask = (1 << tag_bits) - 1
+        self.index_bits = self.num_sets.bit_length() - 1
+        # Each set: FIFO list of [tag, ssn, bab]; index 0 is oldest.
+        self.sets: List[List[List[int]]] = [[] for _ in range(self.num_sets)]
+
+    def _index_and_tag(self, word_addr: int) -> tuple:
+        word = word_addr >> 2
+        index = word & (self.num_sets - 1)
+        tag = (word >> self.index_bits) & self.tag_mask
+        return index, tag
+
+    def store_retire(self, word_addr: int, ssn: int, bab: int) -> None:
+        """A store writes its SSN and BAB when it *retires* (not commits)."""
+        index, tag = self._index_and_tag(word_addr)
+        fifo = self.sets[index]
+        fifo.append([tag, ssn, bab])
+        if len(fifo) > self.assoc:
+            fifo.pop(0)
+
+    def load_lookup(self, word_addr: int, load_bab: int) -> TssbfResult:
+        """A retiring load finds its colliding store's SSN.
+
+        No tag match falls back to the conservative bound: the smallest SSN
+        in the set.  A set that has never overflowed (fewer than ``assoc``
+        entries) still holds *every* store that ever mapped to it, so an
+        unmatched lookup there soundly means "no colliding store" (SSN 0)
+        rather than the set minimum -- without this, a cold-start lookup
+        against a half-filled set returns a recent SSN and triggers a
+        spurious re-execution.
+        """
+        index, tag = self._index_and_tag(word_addr)
+        fifo = self.sets[index]
+        if not fifo:
+            return TssbfResult(ssn=0, store_bab=0, matched=False)
+        best: Optional[List[int]] = None
+        for entry in fifo:
+            if entry[0] == tag and (entry[2] & load_bab):
+                if best is None or entry[1] > best[1]:
+                    best = entry
+        if best is not None:
+            return TssbfResult(ssn=best[1], store_bab=best[2], matched=True)
+        if len(fifo) < self.assoc:
+            return TssbfResult(ssn=0, store_bab=0, matched=False)
+        min_ssn = min(entry[1] for entry in fifo)
+        return TssbfResult(ssn=min_ssn, store_bab=0, matched=False)
+
+    def invalidate_line(self, line_addr: int, line_bytes: int,
+                        ssn_commit: int) -> None:
+        """Multi-core invalidation (Section IV-F): every word of the line is
+        marked as written by a virtual store of SSN ``ssn_commit + 1``."""
+        base = line_addr & ~(line_bytes - 1)
+        for offset in range(0, line_bytes, 4):
+            self.store_retire(base + offset, ssn_commit + 1, 0xF)
+
+    def occupancy(self) -> int:
+        return sum(len(fifo) for fifo in self.sets)
+
+
+class UntaggedSsbf:
+    """Roth's original (untagged) Store Sequence Bloom Filter.
+
+    A direct-mapped table of SSNs indexed by the hashed word address; no
+    tags, so aliasing slots conservatively inflate the returned SSN and
+    cause extra re-executions -- the inefficiency the NoSQ/DMDP *tagged*
+    variant exists to remove.  Exposes the :class:`Tssbf` interface so the
+    pipeline can swap filters for the ablation study.
+    """
+
+    def __init__(self, entries: int = 128):
+        self.entries = entries
+        self.ssns = [0] * entries
+        self.babs = [0] * entries
+
+    def _index(self, word_addr: int) -> int:
+        word = word_addr >> 2
+        return (word ^ (word >> 7)) % self.entries
+
+    def store_retire(self, word_addr: int, ssn: int, bab: int) -> None:
+        index = self._index(word_addr)
+        if ssn >= self.ssns[index]:
+            self.ssns[index] = ssn
+            self.babs[index] = bab
+
+    def load_lookup(self, word_addr: int, load_bab: int) -> TssbfResult:
+        index = self._index(word_addr)
+        ssn = self.ssns[index]
+        if ssn == 0:
+            return TssbfResult(ssn=0, store_bab=0, matched=False)
+        # Untagged: every non-zero slot is a potential collision.
+        return TssbfResult(ssn=ssn, store_bab=self.babs[index], matched=True)
+
+    def invalidate_line(self, line_addr: int, line_bytes: int,
+                        ssn_commit: int) -> None:
+        base = line_addr & ~(line_bytes - 1)
+        for offset in range(0, line_bytes, 4):
+            self.store_retire(base + offset, ssn_commit + 1, 0xF)
+
+    def occupancy(self) -> int:
+        return sum(1 for ssn in self.ssns if ssn)

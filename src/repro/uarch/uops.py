@@ -1,0 +1,155 @@
+"""MicroOp and in-flight instruction state for the timing pipeline.
+
+Every architectural instruction cracks into one or more MicroOps at
+rename/decode time (paper Section IV-A.e, Fig. 7-8):
+
+* memory operations split into an **AGI** (address generation, writing the
+  hardware-only logical register ``$32``) plus, depending on the model and
+  the dependence prediction, a cache-access MicroOp;
+* DMDP predication inserts **CMP** (predicate compute, ``$34``) and two
+  **CMOV**s sharing one destination register (Fig. 8);
+* stores in store-queue-free models dispatch *no* access MicroOp at all --
+  their data/address registers are read at commit.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..isa import FuClass
+from ..kernel.trace import TraceEntry
+from .stats import LoadKind
+
+
+class UopKind(enum.Enum):
+    ALU = "alu"            # any single-MicroOp computation or NOP/HALT
+    BRANCH = "branch"
+    AGI = "agi"            # address generation + TLB translate
+    LOAD = "load"          # cache-port access MicroOp
+    STORE = "store"        # baseline only: store-queue entry write
+    CMP = "cmp"            # DMDP predicate computation
+    CMOV = "cmov"          # DMDP conditional move (one of a pair)
+    SHIFTMASK = "shiftmask"  # NoSQ partial-word bypass fix-up instruction
+
+
+class UopState(enum.Enum):
+    WAITING = 0
+    READY = 1
+    ISSUED = 2
+    DONE = 3
+
+
+@dataclass
+class Uop:
+    """One MicroOp in flight."""
+
+    seq: int                       # global MicroOp age (issue priority)
+    kind: UopKind
+    fu: FuClass
+    latency: int
+    srcs: Tuple[int, ...]          # source physical registers
+    dest: Optional[int]            # destination physical register
+    prev_preg: Optional[int]       # mapping overwritten (virtual release)
+    instr: "DynInstr"
+
+    state: UopState = UopState.WAITING
+    remaining_srcs: int = 0
+    issue_cycle: Optional[int] = None
+    done_cycle: Optional[int] = None
+    dead: bool = False             # squashed; ignore all pending events
+
+    # CMOV pair bookkeeping: does this CMOV actually write the register?
+    cmov_selected: bool = False
+    # Does completion of this MicroOp make the dest register ready?
+    writes_dest: bool = True
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<Uop %d %s %s>" % (self.seq, self.kind.value, self.state.name)
+
+
+@dataclass
+class LoadInfo:
+    """Timing-model bookkeeping for one dynamic load."""
+
+    mode: LoadKind
+    low_confidence: bool = False
+    predicted: bool = False              # a dependence prediction was made
+    ssn_byp: Optional[int] = None        # predicted colliding store SSN
+    dep_trace_index: Optional[int] = None  # trace index of predicted store
+    ssn_nvul: Optional[int] = None       # SSN_commit sampled at cache read
+    read_cycle: Optional[int] = None     # when the cache data returned
+    obtained_value: Optional[int] = None  # value the load actually got
+    value_from_store: bool = False       # forwarded (cloak / predicate==1)
+    predicate: Optional[bool] = None     # DMDP CMP outcome
+    store_bab_checked: bool = True       # Fig. 11 coverage check outcome
+    reexec_scheduled: bool = False
+    reexec_done_cycle: Optional[int] = None
+    violation: bool = False
+    # Consumer holds taken at rename, released at retire.
+    holds: List[int] = field(default_factory=list)
+    # Predictor-training context.
+    history: int = 0
+    waiting_commit_ssn: Optional[int] = None  # delayed-load wake condition
+    # Predicated loads: cache data parked in the $ldtmp register.
+    cache_value: Optional[int] = None
+    # Retire-time verification cache (one T-SSBF read per load).
+    tssbf_result: Optional[object] = None
+    # Baseline: store-set ordering and forwarding-stall bookkeeping.
+    storeset_wait: Optional[int] = None
+    forward_block: Optional[int] = None
+
+
+@dataclass
+class StoreInfo:
+    """Timing-model bookkeeping for one dynamic store."""
+
+    ssn: int
+    data_preg: int
+    addr_preg: int
+    # Consumer holds released when the store commits (NoSQ/DMDP) or
+    # executes (baseline handles them through the SQ MicroOp sources).
+    holds: List[int] = field(default_factory=list)
+    sq_entry_done: bool = False   # baseline: address+data visible in the SQ
+    retired: bool = False
+    committed: bool = False
+    store_set_prev: Optional[int] = None  # older same-set store (seq)
+
+
+@dataclass
+class DynInstr:
+    """One architectural instruction in flight."""
+
+    rob_id: int                    # program-order id (== trace index here)
+    trace: TraceEntry
+    uops: List[Uop] = field(default_factory=list)
+    rename_cycle: int = 0
+    load: Optional[LoadInfo] = None
+    store: Optional[StoreInfo] = None
+    # Rename-map updates: (logical, new preg, overwritten preg), applied to
+    # the committed map -- with virtual release -- at retire.
+    renames: List[Tuple[int, int, int]] = field(default_factory=list)
+    # Physical register whose readiness is the architectural result.
+    result_preg: Optional[int] = None
+    mispredicted_branch: bool = False
+    retired: bool = False
+    dead: bool = False
+
+    @property
+    def is_load(self) -> bool:
+        return self.trace.is_load
+
+    @property
+    def is_store(self) -> bool:
+        return self.trace.is_store
+
+    def uops_done(self) -> bool:
+        return all(u.state is UopState.DONE for u in self.uops)
+
+    def result_ready_cycle(self, prf) -> Optional[int]:
+        """Cycle the architectural result became available (None if N/A)."""
+        if self.result_preg is None:
+            done = [u.done_cycle for u in self.uops if u.done_cycle is not None]
+            return max(done) if done else self.rename_cycle
+        return prf.ready_cycle[self.result_preg]

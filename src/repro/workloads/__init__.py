@@ -1,0 +1,32 @@
+"""Synthetic SPEC 2006 stand-in workloads (see DESIGN.md substitutions)."""
+
+from typing import Dict, List
+
+from .common import WorkloadSpec, lcg_sequence, zipf_like
+from .int_suite import INT_WORKLOADS
+from .fp_suite import FP_WORKLOADS
+
+ALL_WORKLOADS = INT_WORKLOADS + FP_WORKLOADS
+
+WORKLOADS: Dict[str, WorkloadSpec] = {spec.name: spec
+                                      for spec in ALL_WORKLOADS}
+
+INT_NAMES: List[str] = [spec.name for spec in INT_WORKLOADS]
+FP_NAMES: List[str] = [spec.name for spec in FP_WORKLOADS]
+ALL_NAMES: List[str] = INT_NAMES + FP_NAMES
+
+
+def get_workload(name: str) -> WorkloadSpec:
+    """Look up a workload by its (paper) benchmark name."""
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        raise KeyError("unknown workload %r; available: %s"
+                       % (name, ", ".join(ALL_NAMES))) from None
+
+
+__all__ = [
+    "WorkloadSpec", "lcg_sequence", "zipf_like",
+    "INT_WORKLOADS", "FP_WORKLOADS", "ALL_WORKLOADS", "WORKLOADS",
+    "INT_NAMES", "FP_NAMES", "ALL_NAMES", "get_workload",
+]

@@ -1,0 +1,480 @@
+"""Floating-point-suite stand-in kernels.
+
+FP arithmetic is modelled by FP-marked integer operations (``fadd``/``fmul``
+etc., which execute on the long-latency FP unit class); the paper's
+mechanisms act only on memory dependences, so what matters is each
+benchmark's access pattern: streaming stencils (bwaves/leslie3d/zeusmp),
+scatter-accumulation with index reuse (gromacs/milc/namd), store-heavy
+streaming with store-buffer pressure (lbm), spill/reload chains (tonto),
+and the alternating-slot critical-path dependence that makes wrf the
+paper's biggest DMDP win.
+"""
+
+from __future__ import annotations
+
+from ..isa import Program, ProgramBuilder
+from .common import (
+    WorkloadSpec,
+    emit_word_table,
+    end_counted_loop,
+    finish,
+    lcg_sequence,
+    zipf_like,
+)
+
+
+def build_bwaves(scale: int) -> Program:
+    """3-point stencil sweep with FP ops: never-colliding streaming."""
+    b = ProgramBuilder()
+    n = 512
+    emit_word_table(b, "u", lcg_sequence(n, 1 << 20, seed=211))
+    b.data_label("v")
+    b.word(*([0] * n))
+    b.label("main")
+    b.la("$s0", "u")
+    b.la("$s1", "v")
+    b.li("$s3", 0)
+    b.li("$s4", scale)
+    b.li("$s5", (n - 2) * 4)
+    b.label("loop")
+    b.li("$t0", 4)
+    b.label("row")
+    b.add("$t1", "$s0", "$t0")
+    b.lw("$t2", -4, "$t1")
+    b.lw("$t3", 0, "$t1")
+    b.lw("$t4", 4, "$t1")
+    b.fadd("$t5", "$t2", "$t4")
+    b.fmul("$t5", "$t5", "$t3")
+    b.add("$t6", "$s1", "$t0")
+    b.sw("$t5", 0, "$t6")            # writes v, reads u: NC
+    b.addi("$t0", "$t0", 4)
+    b.blt("$t0", "$s5", "row")
+    end_counted_loop(b, "loop", "$s3", "$s4")
+    return finish(b)
+
+
+def build_milc(scale: int) -> Program:
+    """Lattice link update: gather indices with hot reuse make a sizeable
+    OC population (the paper reports milc's naive low-confidence
+    misprediction rate at 23.5%)."""
+    b = ProgramBuilder()
+    sites = 128
+    gather = zipf_like(scale, sites, seed=221, hot_fraction=0.1,
+                       hot_probability=0.75)
+    emit_word_table(b, "gather", [g * 8 for g in gather])
+    b.data_label("lattice")
+    b.word(*lcg_sequence(sites * 2, 1 << 16, seed=223))
+    b.label("main")
+    b.la("$s0", "gather")
+    b.la("$s1", "lattice")
+    b.li("$s3", 0)
+    b.li("$s4", scale)
+    b.label("loop")
+    b.sll("$t0", "$s3", 2)
+    b.add("$t1", "$s0", "$t0")
+    b.lw("$t2", 0, "$t1")            # site offset
+    b.add("$t3", "$s1", "$t2")
+    b.lw("$t4", 0, "$t3")            # link re
+    b.lw("$t5", 4, "$t3")            # link im
+    b.fmul("$t6", "$t4", "$t5")
+    b.fadd("$t4", "$t4", "$t6")
+    b.fsub("$t5", "$t5", "$t6")
+    b.sw("$t4", 0, "$t3")            # scatter back (OC via hot sites)
+    b.sw("$t5", 4, "$t3")
+    end_counted_loop(b, "loop", "$s3", "$s4")
+    return finish(b)
+
+
+def build_zeusmp(scale: int) -> Program:
+    """Two-array magnetohydrodynamics-style stencil: NC-heavy."""
+    b = ProgramBuilder()
+    n = 256
+    emit_word_table(b, "d", lcg_sequence(n, 1 << 18, seed=231))
+    b.data_label("e")
+    b.word(*([1] * n))
+    b.label("main")
+    b.la("$s0", "d")
+    b.la("$s1", "e")
+    b.li("$s3", 0)
+    b.li("$s4", scale)
+    b.li("$s5", (n - 1) * 4)
+    b.label("loop")
+    b.li("$t0", 0)
+    b.label("row")
+    b.add("$t1", "$s0", "$t0")
+    b.lw("$t2", 0, "$t1")
+    b.lw("$t3", 4, "$t1")
+    b.add("$t4", "$s1", "$t0")
+    b.lw("$t5", 0, "$t4")
+    b.fmul("$t6", "$t2", "$t3")
+    b.fadd("$t6", "$t6", "$t5")
+    b.sw("$t6", 0, "$t4")
+    b.addi("$t0", "$t0", 4)
+    b.blt("$t0", "$s5", "row")
+    end_counted_loop(b, "loop", "$s3", "$s4")
+    return finish(b)
+
+
+def build_gromacs(scale: int) -> Program:
+    """Neighbour-list force accumulation ``f[idx] += v``: scatter with
+    duplicated indices -> classic OC accumulate (big DMDP win in the
+    paper's Table IV: 32.13 -> 11.41 cycles)."""
+    b = ProgramBuilder()
+    atoms = 96
+    # Neighbour lists have run-length structure: the same atom often
+    # appears in consecutive entries (stable distance-1 collisions that
+    # predication resolves instantly), otherwise indices are spread out
+    # (independent).  This is what makes gromacs the paper's biggest
+    # Table IV improvement.
+    fresh = lcg_sequence(scale, atoms, seed=241)
+    repeat = lcg_sequence(scale, 100, seed=249)
+    neigh = []
+    for i in range(scale):
+        if i and repeat[i] < 40:
+            neigh.append(neigh[-1])      # run-length repeat
+        else:
+            neigh.append(fresh[i])
+    emit_word_table(b, "neigh", [x * 4 for x in neigh])
+    emit_word_table(b, "dist", lcg_sequence(scale, 1 << 10, seed=243))
+    b.data_label("force")
+    b.word(*([0] * atoms))
+    b.label("main")
+    b.la("$s0", "neigh")
+    b.la("$s1", "force")
+    b.la("$s2", "dist")
+    b.li("$s3", 0)
+    b.li("$s4", scale)
+    b.label("loop")
+    b.sll("$t0", "$s3", 2)
+    b.add("$t1", "$s0", "$t0")
+    b.lw("$t2", 0, "$t1")            # neighbour index
+    b.add("$t3", "$s2", "$t0")
+    b.lw("$t4", 0, "$t3")            # distance term
+    b.fmul("$t5", "$t4", "$t4")      # "1/r^2"
+    b.add("$t6", "$s1", "$t2")
+    b.lw("$t7", 0, "$t6")            # f[idx]
+    b.fadd("$t7", "$t7", "$t5")
+    b.sw("$t7", 0, "$t6")            # f[idx] += v  (OC accumulate)
+    end_counted_loop(b, "loop", "$s3", "$s4")
+    return finish(b)
+
+
+def build_leslie3d(scale: int) -> Program:
+    """Five-point stencil rows: streaming NC with FP chains."""
+    b = ProgramBuilder()
+    n = 320
+    emit_word_table(b, "q", lcg_sequence(n, 1 << 19, seed=251))
+    b.data_label("r")
+    b.word(*([0] * n))
+    b.label("main")
+    b.la("$s0", "q")
+    b.la("$s1", "r")
+    b.li("$s3", 0)
+    b.li("$s4", scale)
+    b.li("$s5", (n - 4) * 4)
+    b.label("loop")
+    b.li("$t0", 8)
+    b.label("row")
+    b.add("$t1", "$s0", "$t0")
+    b.lw("$t2", -8, "$t1")
+    b.lw("$t3", -4, "$t1")
+    b.lw("$t4", 0, "$t1")
+    b.lw("$t5", 4, "$t1")
+    b.lw("$t6", 8, "$t1")
+    b.fadd("$t7", "$t2", "$t6")
+    b.fadd("$t8", "$t3", "$t5")
+    b.fsub("$t7", "$t7", "$t8")
+    b.fmul("$t7", "$t7", "$t4")
+    b.add("$t8", "$s1", "$t0")
+    b.sw("$t7", 0, "$t8")
+    b.addi("$t0", "$t0", 4)
+    b.blt("$t0", "$s5", "row")
+    end_counted_loop(b, "loop", "$s3", "$s4")
+    return finish(b)
+
+
+def build_namd(scale: int) -> Program:
+    """Pairwise force kernel updating both particles of each pair; the
+    second index is drawn from a small hot set, yielding a low-rate OC
+    population on top of mostly independent accesses."""
+    b = ProgramBuilder()
+    atoms = 128
+    # Pair lists iterate all neighbours of one atom before moving on, so
+    # f[i] sees short runs of stable distance-1 collisions.
+    fresh_i = lcg_sequence(scale, atoms, seed=261)
+    run = lcg_sequence(scale, 100, seed=267)
+    pi = []
+    for i in range(scale):
+        if i and run[i] < 50:
+            pi.append(pi[-1])
+        else:
+            pi.append(fresh_i[i])
+    pj = zipf_like(scale, atoms, seed=263, hot_fraction=0.05,
+                   hot_probability=0.4)
+    emit_word_table(b, "pi", [x * 4 for x in pi])
+    emit_word_table(b, "pj", [x * 4 for x in pj])
+    b.data_label("f")
+    b.word(*([0] * atoms))
+    b.label("main")
+    b.la("$s0", "pi")
+    b.la("$s1", "pj")
+    b.la("$s2", "f")
+    b.li("$s3", 0)
+    b.li("$s4", scale)
+    b.label("loop")
+    b.sll("$t0", "$s3", 2)
+    b.add("$t1", "$s0", "$t0")
+    b.lw("$t2", 0, "$t1")
+    b.add("$t3", "$s1", "$t0")
+    b.lw("$t4", 0, "$t3")
+    b.fmul("$t5", "$t2", "$t4")      # interaction term
+    b.add("$t6", "$s2", "$t2")
+    b.lw("$t7", 0, "$t6")
+    b.fadd("$t7", "$t7", "$t5")
+    b.sw("$t7", 0, "$t6")            # f[i] += e
+    b.add("$t8", "$s2", "$t4")
+    b.lw("$t9", 0, "$t8")
+    b.fsub("$t9", "$t9", "$t5")
+    b.sw("$t9", 0, "$t8")            # f[j] -= e
+    end_counted_loop(b, "loop", "$s3", "$s4")
+    return finish(b)
+
+
+def build_gems(scale: int) -> Program:
+    """FDTD-style field update: streaming sweep plus a boundary cell
+    rewritten every row and read at the start of the next row (a stable,
+    always-colliding long-distance dependence)."""
+    b = ProgramBuilder()
+    n = 192
+    emit_word_table(b, "h", lcg_sequence(n, 1 << 17, seed=271))
+    b.data_label("efield")
+    b.word(*([0] * n))
+    b.data_label("boundary")
+    b.word(0)
+    b.label("main")
+    b.la("$s0", "h")
+    b.la("$s1", "efield")
+    b.la("$s2", "boundary")
+    b.li("$s3", 0)
+    b.li("$s4", scale)
+    b.li("$s5", (n - 1) * 4)
+    b.label("loop")
+    b.lw("$s6", 0, "$s2")            # read boundary (AC with last row)
+    b.li("$t0", 0)
+    b.label("row")
+    b.add("$t1", "$s0", "$t0")
+    b.lw("$t2", 0, "$t1")
+    b.lw("$t3", 4, "$t1")
+    b.fsub("$t4", "$t3", "$t2")
+    b.fadd("$t4", "$t4", "$s6")
+    b.add("$t5", "$s1", "$t0")
+    b.sw("$t4", 0, "$t5")
+    b.addi("$t0", "$t0", 4)
+    b.blt("$t0", "$s5", "row")
+    b.sw("$t4", 0, "$s2")            # update boundary for the next row
+    end_counted_loop(b, "loop", "$s3", "$s4")
+    return finish(b)
+
+
+def build_tonto(scale: int) -> Program:
+    """Blocked quantum-chemistry contraction with register spills: partial
+    sums spilled to the stack and reloaded shortly after -- stable AC
+    dependences that memory cloaking collapses completely."""
+    b = ProgramBuilder()
+    n = 64
+    emit_word_table(b, "a", lcg_sequence(n, 1 << 14, seed=281))
+    emit_word_table(b, "bm", lcg_sequence(n, 1 << 14, seed=283))
+    b.label("main")
+    b.la("$s0", "a")
+    b.la("$s1", "bm")
+    b.li("$s3", 0)
+    b.li("$s4", scale)
+    b.addi("$sp", "$sp", -16)
+    b.label("loop")
+    b.andi("$t9", "$s3", 0x3C)
+    b.add("$t0", "$s0", "$t9")
+    b.lw("$t1", 0, "$t0")
+    b.add("$t2", "$s1", "$t9")
+    b.lw("$t3", 0, "$t2")
+    b.fmul("$t4", "$t1", "$t3")
+    b.sw("$t4", 0, "$sp")            # spill partial product
+    b.lw("$t5", 4, "$t0")
+    b.lw("$t6", 4, "$t2")
+    b.fmul("$t7", "$t5", "$t6")
+    b.sw("$t7", 4, "$sp")            # spill second partial
+    b.lw("$t4", 0, "$sp")            # reload (AC, distance 2)
+    b.lw("$t7", 4, "$sp")            # reload (AC, distance 2)
+    b.fadd("$t8", "$t4", "$t7")
+    b.add("$s6", "$s6", "$t8")
+    end_counted_loop(b, "loop", "$s3", "$s4")
+    b.addi("$sp", "$sp", 16)
+    return finish(b)
+
+
+def build_lbm(scale: int) -> Program:
+    """Lattice-Boltzmann streaming step: store-dominated sweep over a
+    working set larger than L1 -- the benchmark with the paper's worst
+    re-execution stalls (Table VII) and the biggest store-buffer
+    sensitivity (Fig. 14)."""
+    b = ProgramBuilder()
+    cells = 12288                    # 48 KiB src + 48 KiB dst: > L1
+    emit_word_table(b, "grid", lcg_sequence(cells, 1 << 16, seed=293))
+    b.data_label("dstgrid")
+    b.word(*([0] * cells))
+    b.data_label("hot")
+    b.word(*([0] * 8))
+    b.label("main")
+    b.la("$s0", "grid")
+    b.la("$s7", "dstgrid")
+    b.la("$s1", "hot")
+    b.li("$s3", 0)
+    b.li("$s4", scale)
+    b.li("$s5", cells * 4 - 64)
+    b.li("$s2", 0)                   # streaming cursor (wraps)
+    b.label("loop")
+    b.add("$t0", "$s0", "$s2")
+    b.lw("$t1", 0, "$t0")
+    b.lw("$t2", 4, "$t0")
+    b.fadd("$t3", "$t1", "$t2")
+    b.fmul("$t7", "$t1", "$t2")      # collision/streaming operators
+    b.fsub("$t7", "$t3", "$t7")
+    b.add("$t8", "$s7", "$s2")
+    b.sw("$t3", 32, "$t8")           # stream to the *destination* grid:
+    b.sw("$t7", 36, "$t8")           # store misses -> SB pressure
+    b.andi("$t4", "$s2", 0x1C)
+    b.add("$t5", "$s1", "$t4")
+    b.lw("$t6", 0, "$t5")            # hot accumulator (OC-lite)
+    b.fadd("$t6", "$t6", "$t3")
+    b.sw("$t6", 0, "$t5")
+    b.addi("$s2", "$s2", 44)
+    b.ble("$s2", "$s5", "nowrap")
+    b.li("$s2", 0)
+    b.label("nowrap")
+    end_counted_loop(b, "loop", "$s3", "$s4")
+    return finish(b)
+
+
+def build_wrf(scale: int) -> Program:
+    """Weather-model microphysics inner loop: each iteration writes a
+    round-robin scratch slot and reloads *either* that freshly written slot
+    (a real dependence, ~30% of iterations, data-dependent) or a slot
+    written a full rotation earlier (long committed -- independent).  The
+    dependence is therefore occasionally colliding with a stable distance:
+    NoSQ keeps delaying the reload on the serial critical path while DMDP
+    predicates it -- the paper's largest DMDP-over-NoSQ gain (+34.1%)."""
+    b = ProgramBuilder()
+    slots = 64
+    cond_entries = 256  # wraps: stays L1-resident after the first pass
+    cond = zipf_like(cond_entries, 4, seed=291, hot_fraction=0.25,
+                     hot_probability=0.3)   # value 0 ~30% of the time
+    emit_word_table(b, "cond", [1 if c == 0 else 0 for c in cond])
+    b.data_label("slots")
+    b.word(*([0] * slots))
+    b.label("main")
+    b.la("$s0", "cond")
+    b.la("$s1", "slots")
+    b.li("$s3", 0)
+    b.li("$s4", scale)
+    b.li("$s6", 1)                   # running value (critical path)
+    b.li("$s7", slots - 1)
+    b.label("loop")
+    b.andi("$t0", "$s3", 0xFF)       # wrap the condition stream
+    b.sll("$t0", "$t0", 2)
+    b.add("$t1", "$s0", "$t0")
+    b.lw("$t2", 0, "$t1")            # condition bit (1 ~30%)
+    b.fadd("$s6", "$s6", "$t2")      # advance the running value
+    b.and_("$t3", "$s3", "$s7")      # slot = i mod 64 (round robin)
+    b.sll("$t3", "$t3", 2)
+    b.add("$t4", "$s1", "$t3")
+    b.sw("$s6", 0, "$t4")            # spill to slot[i % 64]
+    # Reload address: the fresh slot when cond==1, the next (oldest,
+    # long-committed) slot otherwise.
+    b.sll("$t5", "$t2", 31)
+    b.sra("$t5", "$t5", 31)          # mask = cond ? -1 : 0
+    b.addi("$t6", "$s3", 1)
+    b.and_("$t6", "$t6", "$s7")
+    b.sll("$t6", "$t6", 2)
+    b.add("$t7", "$s1", "$t6")       # &slots[(i+1) % 64]
+    b.xor("$t8", "$t4", "$t7")
+    b.and_("$t8", "$t8", "$t5")
+    b.xor("$t7", "$t7", "$t8")       # select address without a branch
+    b.lw("$t9", 0, "$t7")            # occasionally-colliding reload
+    b.fadd("$s6", "$s6", "$t9")      # ... on the serial critical path
+    end_counted_loop(b, "loop", "$s3", "$s4")
+    return finish(b)
+
+
+def build_sphinx3(scale: int) -> Program:
+    """Acoustic scoring: streams feature frames and accumulates per-senone
+    scores into a table with a hot subset (mild OC over mostly reads)."""
+    b = ProgramBuilder()
+    senones = 64
+    frames = lcg_sequence(scale, 1 << 12, seed=301)
+    # Consecutive gaussians belong to the same senone, so the score
+    # accumulation collides in short stable runs.
+    fresh = lcg_sequence(scale, senones, seed=303)
+    run = lcg_sequence(scale, 100, seed=307)
+    sids = []
+    for i in range(scale):
+        if i and run[i] < 45:
+            sids.append(sids[-1])
+        else:
+            sids.append(fresh[i])
+    emit_word_table(b, "frames", frames)
+    emit_word_table(b, "sids", [s * 4 for s in sids])
+    b.data_label("scores")
+    b.word(*([0] * senones))
+    b.label("main")
+    b.la("$s0", "frames")
+    b.la("$s1", "sids")
+    b.la("$s2", "scores")
+    b.li("$s3", 0)
+    b.li("$s4", scale)
+    b.label("loop")
+    b.sll("$t0", "$s3", 2)
+    b.add("$t1", "$s0", "$t0")
+    b.lw("$t2", 0, "$t1")            # feature value
+    b.add("$t3", "$s1", "$t0")
+    b.lw("$t4", 0, "$t3")            # senone id
+    b.fmul("$t5", "$t2", "$t2")      # gaussian-ish term
+    b.sra("$t5", "$t5", 4)
+    b.add("$t6", "$s2", "$t4")
+    b.lw("$t7", 0, "$t6")            # score[senone]
+    b.fadd("$t7", "$t7", "$t5")
+    b.sw("$t7", 0, "$t6")            # mild OC accumulate
+    end_counted_loop(b, "loop", "$s3", "$s4")
+    return finish(b)
+
+
+FP_WORKLOADS = (
+    WorkloadSpec("bwaves", "fp", build_bwaves,
+                 "3-point stencil streaming: NC", default_scale=4),
+    WorkloadSpec("milc", "fp", build_milc,
+                 "lattice scatter with hot sites: sizeable OC",
+                 default_scale=1300),
+    WorkloadSpec("zeusmp", "fp", build_zeusmp,
+                 "two-array stencil: NC-heavy", default_scale=7),
+    WorkloadSpec("gromacs", "fp", build_gromacs,
+                 "force scatter-accumulate: OC (big DMDP Table IV win)",
+                 default_scale=1400),
+    WorkloadSpec("leslie3d", "fp", build_leslie3d,
+                 "5-point stencil streaming: NC", default_scale=4),
+    WorkloadSpec("namd", "fp", build_namd,
+                 "pairwise forces: low-rate OC over independents",
+                 default_scale=1000),
+    WorkloadSpec("Gems", "fp", build_gems,
+                 "FDTD sweep + stable boundary AC dependence",
+                 default_scale=9),
+    WorkloadSpec("tonto", "fp", build_tonto,
+                 "contraction with stack spills: stable AC (cloaking food)",
+                 default_scale=900),
+    WorkloadSpec("lbm", "fp", build_lbm,
+                 "store-heavy streaming > L1: re-exec stalls, SB pressure",
+                 default_scale=1300),
+    WorkloadSpec("wrf", "fp", build_wrf,
+                 "alternating spill slots on the critical path: peak DMDP win",
+                 default_scale=750),
+    WorkloadSpec("sphinx3", "fp", build_sphinx3,
+                 "acoustic scoring: mild OC accumulate over streams",
+                 default_scale=1200),
+)

@@ -1,0 +1,445 @@
+"""Integer-suite stand-in kernels (paper Section V benchmark list).
+
+Each kernel reproduces the store->load dependence signature that drives its
+namesake's behaviour in the paper's figures: bzip2's Fig. 13
+indirect-increment loop, hmmer's silent-store-heavy scoring, mcf's
+cache-missing pointer chase with dependent stores, h264ref's partial-word
+block copies, and so on.
+"""
+
+from __future__ import annotations
+
+from ..isa import Program, ProgramBuilder
+from .common import (
+    WorkloadSpec,
+    emit_half_table,
+    emit_word_table,
+    end_counted_loop,
+    finish,
+    lcg_sequence,
+    zipf_like,
+)
+
+
+def build_perl(scale: int) -> Program:
+    """Interpreter-style dispatch: branchy opcode loop + hash updates.
+
+    Signature: hard-to-predict branches, mostly-AC hash bucket updates with
+    occasional OC collisions between buckets.
+    """
+    b = ProgramBuilder()
+    ops = lcg_sequence(scale, 4, seed=11)
+    emit_word_table(b, "opstream", ops)
+    buckets = zipf_like(scale, 32, seed=17, hot_probability=0.6)
+    emit_word_table(b, "bucketstream", buckets)
+    b.data_label("hash")
+    b.word(*([0] * 32))
+    b.label("main")
+    b.la("$s0", "opstream")
+    b.la("$s1", "bucketstream")
+    b.la("$s2", "hash")
+    b.li("$s3", 0)          # i
+    b.li("$s4", scale)      # limit
+    b.label("loop")
+    b.sll("$t0", "$s3", 2)
+    b.add("$t1", "$s0", "$t0")
+    b.lw("$t2", 0, "$t1")            # opcode
+    b.add("$t3", "$s1", "$t0")
+    b.lw("$t4", 0, "$t3")            # bucket index
+    # Dispatch tree on the opcode (2 levels of data-dependent branches).
+    b.slti("$t5", "$t2", 2)
+    b.beqz("$t5", "op_hi")
+    b.beqz("$t2", "op0")
+    b.addi("$t6", "$t4", 3)          # op1
+    b.b("store_bucket")
+    b.label("op0")
+    b.sll("$t6", "$t4", 1)
+    b.b("store_bucket")
+    b.label("op_hi")
+    b.slti("$t5", "$t2", 3)
+    b.beqz("$t5", "op3")
+    b.xori("$t6", "$t4", 5)          # op2
+    b.b("store_bucket")
+    b.label("op3")
+    b.addi("$t6", "$t4", 7)
+    b.label("store_bucket")
+    # Hash bucket read-modify-write (bucket stream has hot reuse -> OC).
+    b.sll("$t7", "$t4", 2)
+    b.add("$t7", "$s2", "$t7")
+    b.lw("$t8", 0, "$t7")
+    b.add("$t8", "$t8", "$t6")
+    b.sw("$t8", 0, "$t7")
+    end_counted_loop(b, "loop", "$s3", "$s4")
+    return finish(b)
+
+
+def build_bzip2(scale: int) -> Program:
+    """The paper's Fig. 13 snapshot: LHU reads a halfword pointer array and
+    the pointed word is incremented -- occasionally colliding with a
+    *varying* store distance, the hardest pattern for distance prediction.
+    """
+    b = ProgramBuilder()
+    ptrs = zipf_like(scale, 48, seed=23, hot_fraction=0.15,
+                     hot_probability=0.65)
+    emit_half_table(b, "ptrs", [p * 4 for p in ptrs])
+    b.align(4)
+    b.data_label("x")
+    b.word(*([0] * 48))
+    b.label("main")
+    b.la("$s0", "ptrs")
+    b.la("$s1", "x")
+    b.li("$s3", 0)
+    b.li("$s4", scale)
+    b.label("loop")
+    b.sll("$t0", "$s3", 1)
+    b.add("$t1", "$s0", "$t0")
+    b.lhu("$t2", 0, "$t1")           # pointer (halfword load, as in Fig.13)
+    b.add("$t3", "$s1", "$t2")
+    b.lw("$t4", 0, "$t3")            # x[ptr]
+    b.sll("$t5", "$t4", 1)           # "series of computation"
+    b.xor("$t5", "$t5", "$t4")
+    b.andi("$t5", "$t5", 0xFF)
+    b.addi("$t4", "$t4", 1)
+    b.sw("$t4", 0, "$t3")            # x[ptr]++
+    end_counted_loop(b, "loop", "$s3", "$s4")
+    return finish(b)
+
+
+def build_gcc(scale: int) -> Program:
+    """Linked-list node updates: shuffled list walk where nodes repeat, so
+    field updates occasionally collide; moderate branchiness.
+    """
+    b = ProgramBuilder()
+    nodes = 64
+    order = zipf_like(scale, nodes, seed=31, hot_probability=0.5)
+    emit_word_table(b, "order", [n * 16 for n in order])
+    b.data_label("nodes")
+    b.word(*([0] * (nodes * 4)))     # 16-byte nodes: {val, count, flag, pad}
+    b.label("main")
+    b.la("$s0", "order")
+    b.la("$s1", "nodes")
+    b.li("$s3", 0)
+    b.li("$s4", scale)
+    b.label("loop")
+    b.sll("$t0", "$s3", 2)
+    b.add("$t1", "$s0", "$t0")
+    b.lw("$t2", 0, "$t1")            # node offset
+    b.add("$t3", "$s1", "$t2")
+    b.lw("$t4", 0, "$t3")            # node.val
+    b.lw("$t5", 4, "$t3")            # node.count
+    b.addi("$t5", "$t5", 1)
+    b.sw("$t5", 4, "$t3")            # node.count++
+    b.andi("$t6", "$t4", 1)
+    b.beqz("$t6", "even")
+    b.addi("$t4", "$t4", 3)
+    b.b("wb")
+    b.label("even")
+    b.sll("$t4", "$t4", 1)
+    b.addi("$t4", "$t4", 1)
+    b.label("wb")
+    b.sw("$t4", 0, "$t3")            # node.val update
+    end_counted_loop(b, "loop", "$s3", "$s4")
+    return finish(b)
+
+
+def build_mcf(scale: int) -> Program:
+    """Cache-missing pointer chase whose colliding stores depend on the
+    missed loads (the paper notes memory cloaking is ineffective here:
+    bypassed data arrives as late as the cache).
+    """
+    b = ProgramBuilder()
+    nodes = 8192                      # 32 KiB of links: blows past L1
+    perm = list(range(nodes))
+    # Deterministic permutation cycle for the chase.
+    seq = lcg_sequence(nodes, nodes, seed=41)
+    for i in range(nodes - 1, 0, -1):
+        j = seq[i] % (i + 1)
+        perm[i], perm[j] = perm[j], perm[i]
+    links = [0] * nodes
+    for i in range(nodes):
+        links[perm[i]] = perm[(i + 1) % nodes] * 4
+    emit_word_table(b, "links", links)
+    b.data_label("weights")
+    b.word(*([1] * 64))
+    b.label("main")
+    b.la("$s0", "links")
+    b.la("$s1", "weights")
+    b.li("$s2", 0)                   # current offset
+    b.li("$s3", 0)
+    b.li("$s4", scale)
+    b.label("loop")
+    b.add("$t0", "$s0", "$s2")
+    b.lw("$s2", 0, "$t0")            # chase: next = links[cur] (misses)
+    b.andi("$t1", "$s2", 0xFC)
+    b.add("$t2", "$s1", "$t1")
+    b.lw("$t3", 0, "$t2")            # weight[cur & mask]
+    b.add("$t3", "$t3", "$s2")       # store depends on the missed load
+    b.sw("$t3", 0, "$t2")
+    end_counted_loop(b, "loop", "$s3", "$s4")
+    return finish(b)
+
+
+def build_gobmk(scale: int) -> Program:
+    """Board-game evaluation: 2D neighbourhood reads, conditional writes,
+    heavy data-dependent branching."""
+    b = ProgramBuilder()
+    size = 19
+    board_words = size * size
+    moves = lcg_sequence(scale, (size - 2) * (size - 2), seed=51)
+    emit_word_table(b, "moves",
+                    [((m // (size - 2)) + 1) * size * 4
+                     + ((m % (size - 2)) + 1) * 4 for m in moves])
+    b.data_label("board")
+    b.word(*([0] * board_words))
+    b.label("main")
+    b.la("$s0", "moves")
+    b.la("$s1", "board")
+    b.li("$s3", 0)
+    b.li("$s4", scale)
+    b.li("$s5", size * 4)
+    b.label("loop")
+    b.sll("$t0", "$s3", 2)
+    b.add("$t1", "$s0", "$t0")
+    b.lw("$t2", 0, "$t1")            # move offset
+    b.add("$t3", "$s1", "$t2")
+    b.lw("$t4", 0, "$t3")            # centre
+    b.lw("$t5", -4, "$t3")           # west
+    b.lw("$t6", 4, "$t3")            # east
+    b.sub("$t7", "$t3", "$s5")
+    b.lw("$t8", 0, "$t7")            # north
+    b.add("$t5", "$t5", "$t6")
+    b.add("$t5", "$t5", "$t8")
+    b.slti("$t6", "$t5", 2)
+    b.beqz("$t6", "capture")
+    b.addi("$t4", "$t4", 1)
+    b.sw("$t4", 0, "$t3")            # place stone
+    b.b("next")
+    b.label("capture")
+    b.sw("$zero", 0, "$t3")          # often silent (board mostly zero)
+    b.label("next")
+    end_counted_loop(b, "loop", "$s3", "$s4")
+    return finish(b)
+
+
+def build_hmmer(scale: int) -> Program:
+    """Dynamic-programming scoring: tight same-address store->load chains
+    with a very high *silent store* rate (saturating max writes the value
+    already present) -- the benchmark where the silent-store-aware
+    predictor update policy cuts both ways (paper Section VI-a)."""
+    b = ProgramBuilder()
+    cols = 32
+    scores = lcg_sequence(scale, 8, seed=61)
+    emit_word_table(b, "emit", scores)
+    b.data_label("dp")
+    b.word(*([4] * cols))
+    b.label("main")
+    b.la("$s0", "emit")
+    b.la("$s1", "dp")
+    b.li("$s3", 0)
+    b.li("$s4", scale)
+    b.li("$s5", 0)                   # column cursor
+    b.label("loop")
+    b.sll("$t0", "$s3", 2)
+    b.add("$t1", "$s0", "$t0")
+    b.lw("$t2", 0, "$t1")            # emission score (small)
+    b.sll("$t3", "$s5", 2)
+    b.add("$t3", "$s1", "$t3")
+    b.lw("$t4", 0, "$t3")            # dp[col]
+    # Saturating max: new = max(dp[col], score) -- usually dp[col] wins,
+    # so the store is silent.
+    b.slt("$t5", "$t4", "$t2")
+    b.beqz("$t5", "keep")
+    b.sw("$t2", 0, "$t3")
+    b.b("reload")
+    b.label("keep")
+    b.sw("$t4", 0, "$t3")            # silent store (same value)
+    b.label("reload")
+    b.andi("$t8", "$t2", 4)          # data-dependent reload column:
+    b.sub("$t8", "$t3", "$t8")       # dp[col] or dp[col-1]
+    b.lw("$t6", 0, "$t8")            # OC reload with varying distance
+    b.add("$s6", "$s6", "$t6")
+    b.addi("$s5", "$s5", 1)
+    b.slti("$t7", "$s5", cols)
+    b.bnez("$t7", "nocolwrap")
+    b.li("$s5", 0)
+    b.label("nocolwrap")
+    end_counted_loop(b, "loop", "$s3", "$s4")
+    return finish(b)
+
+
+def build_sjeng(scale: int) -> Program:
+    """Game-tree search skeleton: call/return with stack push/pop of move
+    state -- always-colliding short-distance spill traffic plus RAS use."""
+    b = ProgramBuilder()
+    moves = zipf_like(scale, 64, seed=71, hot_fraction=0.02,
+                      hot_probability=0.55)
+    emit_word_table(b, "moves", moves)
+    b.data_label("history")
+    b.word(*([0] * 64))
+    b.label("main")
+    b.la("$s0", "moves")
+    b.la("$s1", "history")
+    b.li("$s3", 0)
+    b.li("$s4", scale)
+    b.label("loop")
+    b.sll("$t0", "$s3", 2)
+    b.add("$t1", "$s0", "$t0")
+    b.lw("$s5", 0, "$t1")            # move
+    b.jal("search")
+    end_counted_loop(b, "loop", "$s3", "$s4")
+    b.halt()
+    # search(move in $s5): push state, "evaluate", pop state.
+    b.label("search")
+    b.addi("$sp", "$sp", -12)
+    b.sw("$ra", 0, "$sp")            # AC spill
+    b.sw("$s5", 4, "$sp")
+    b.sw("$s6", 8, "$sp")
+    b.sll("$t2", "$s5", 2)
+    b.add("$t3", "$s1", "$t2")
+    b.lw("$t4", 0, "$t3")            # history[move] (hot table, mostly read)
+    b.andi("$t5", "$t4", 3)
+    b.bnez("$t5", "nohist")
+    b.addi("$t4", "$t4", 1)
+    b.sw("$t4", 0, "$t3")            # sparse history update (OC)
+    b.label("nohist")
+    b.lw("$s6", 8, "$sp")            # AC reload
+    b.lw("$s5", 4, "$sp")
+    b.lw("$ra", 0, "$sp")
+    b.addi("$sp", "$sp", 12)
+    b.jr("$ra")
+    return b.build()
+
+
+def build_libquantum(scale: int) -> Program:
+    """Streaming gate application: toggles bits across a quantum-register
+    array -- never-colliding sweeps, few dependences, long regular loops."""
+    b = ProgramBuilder()
+    qubits = 1024  # long sweeps: the same word is rewritten only after
+    # ~1k stores, so reloads never race an uncommitted store (real
+    # libquantum registers are megabytes)
+    b.data_label("state")
+    b.word(*lcg_sequence(qubits, 1 << 30, seed=81))
+    b.label("main")
+    b.la("$s0", "state")
+    b.li("$s3", 0)
+    b.li("$s4", scale)
+    b.li("$s5", qubits * 4)
+    b.label("loop")
+    b.li("$t0", 0)
+    b.label("sweep")
+    b.add("$t2", "$s0", "$t0")       # unit-stride word sweep
+    b.lw("$t3", 0, "$t2")
+    b.xori("$t3", "$t3", 0x40)       # apply NOT gate to a bit
+    b.sw("$t3", 0, "$t2")
+    b.addi("$t0", "$t0", 4)
+    b.blt("$t0", "$s5", "sweep")
+    end_counted_loop(b, "loop", "$s3", "$s4")
+    return finish(b)
+
+
+def build_h264ref(scale: int) -> Program:
+    """Motion-compensation block copy with halfword stores immediately
+    reloaded (sometimes as full words spanning *two* stores -- the
+    partial-word coverage case of paper Fig. 11)."""
+    b = ProgramBuilder()
+    src = lcg_sequence(64, 1 << 15, seed=91)
+    emit_half_table(b, "src", src)
+    b.align(4)
+    b.data_label("dst")
+    b.word(*([0] * 32))              # 16 quarters of 2 words each
+    b.label("main")
+    b.la("$s0", "src")
+    b.la("$s1", "dst")
+    b.li("$s3", 0)
+    b.li("$s4", scale)
+    b.label("loop")
+    b.andi("$t9", "$s3", 0x38)
+    b.sll("$t9", "$t9", 1)
+    b.add("$t9", "$s0", "$t9")       # rotating source pointer
+    b.andi("$t8", "$s3", 0xF)
+    b.sll("$t8", "$t8", 3)
+    b.add("$t8", "$s1", "$t8")       # rotating destination quarter
+    b.li("$t0", 0)
+    b.label("copy")
+    b.sll("$t1", "$t0", 1)
+    b.add("$t2", "$t9", "$t1")
+    b.lhu("$t3", 0, "$t2")           # read src halfword
+    b.add("$t4", "$t8", "$t1")
+    b.sh("$t3", 0, "$t4")            # write dst halfword
+    b.lhu("$t5", 0, "$t4")           # reload (AC partial-word forward)
+    b.add("$s6", "$s6", "$t5")       # SAD accumulation
+    b.addi("$t0", "$t0", 1)
+    b.slti("$t6", "$t0", 4)
+    b.bnez("$t6", "copy")
+    b.lw("$t7", 0, "$s1")            # word reload: spans two SH stores on
+    b.add("$s7", "$s7", "$t7")       # the quarter-0 iterations (Fig. 11)
+    end_counted_loop(b, "loop", "$s3", "$s4")
+    return finish(b)
+
+
+def build_astar(scale: int) -> Program:
+    """Path-search relaxation: data-dependent cost updates of neighbour
+    cells with hot-cell reuse (OC) and poorly-predictable branches."""
+    b = ProgramBuilder()
+    cells = 64
+    visits = zipf_like(scale, cells - 2, seed=101, hot_probability=0.55)
+    emit_word_table(b, "visits", [v * 4 for v in visits])
+    b.data_label("gcost")
+    b.word(*[(v % 97) + 1 for v in lcg_sequence(cells, 97, seed=103)])
+    b.label("main")
+    b.la("$s0", "visits")
+    b.la("$s1", "gcost")
+    b.li("$s3", 0)
+    b.li("$s4", scale)
+    b.label("loop")
+    b.sll("$t0", "$s3", 2)
+    b.add("$t1", "$s0", "$t0")
+    b.lw("$t2", 0, "$t1")            # cell offset
+    b.add("$t3", "$s1", "$t2")
+    b.lw("$t4", 0, "$t3")            # g(cell)
+    b.lw("$t5", 4, "$t3")            # g(neighbour)
+    b.addi("$t6", "$t4", 3)          # tentative = g(cell) + w
+    b.slt("$t7", "$t6", "$t5")
+    b.beqz("$t7", "norelax")         # data-dependent, hard to predict
+    b.sw("$t6", 4, "$t3")            # relax neighbour (OC)
+    b.b("next")
+    b.label("norelax")
+    b.addi("$t5", "$t5", 1)          # age the cell so relaxation recurs
+    b.sw("$t5", 4, "$t3")
+    b.label("next")
+    end_counted_loop(b, "loop", "$s3", "$s4")
+    return finish(b)
+
+
+INT_WORKLOADS = (
+    WorkloadSpec("perl", "int", build_perl,
+                 "interpreter dispatch: branchy, AC hash updates, mild OC",
+                 default_scale=1200),
+    WorkloadSpec("bzip2", "int", build_bzip2,
+                 "Fig.13 indirect increment: OC with varying store distance",
+                 default_scale=1500),
+    WorkloadSpec("gcc", "int", build_gcc,
+                 "linked-list field updates: moderate OC, branchy",
+                 default_scale=1200),
+    WorkloadSpec("mcf", "int", build_mcf,
+                 "cache-missing pointer chase; stores depend on missed loads",
+                 default_scale=1800),
+    WorkloadSpec("gobmk", "int", build_gobmk,
+                 "board evaluation: neighbourhood reads, silent captures",
+                 default_scale=1100),
+    WorkloadSpec("hmmer", "int", build_hmmer,
+                 "DP scoring: AC same-address chains, very high silent-store rate",
+                 default_scale=1100),
+    WorkloadSpec("sjeng", "int", build_sjeng,
+                 "search skeleton: AC stack spills, RAS traffic, hot history",
+                 default_scale=900),
+    WorkloadSpec("lib", "int", build_libquantum,
+                 "streaming bit toggles: NC sweeps, almost no dependences",
+                 default_scale=3),
+    WorkloadSpec("h264ref", "int", build_h264ref,
+                 "block copy: partial-word forwarding incl. two-store coverage",
+                 default_scale=450),
+    WorkloadSpec("astar", "int", build_astar,
+                 "cost relaxation: OC neighbour updates, unpredictable branches",
+                 default_scale=1400),
+)

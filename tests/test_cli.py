@@ -1,0 +1,61 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "quake"])
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "bzip2", "--model", "magic"])
+
+    def test_config_flags(self):
+        args = build_parser().parse_args(
+            ["run", "bzip2", "--rob", "512", "--width", "4", "--rmo",
+             "--tage", "--store-buffer", "32", "--pregs", "160"])
+        assert args.rob == 512 and args.width == 4
+        assert args.rmo and args.tage
+        assert args.store_buffer == 32 and args.pregs == 160
+
+
+class TestCommands:
+    def test_list(self):
+        code, text = run_cli("list")
+        assert code == 0
+        assert "bzip2" in text and "fig12" in text
+
+    def test_compare(self):
+        code, text = run_cli("--scale", "0.05", "compare", "tonto")
+        assert code == 0
+        for model in ("baseline", "nosq", "dmdp", "perfect"):
+            assert model in text
+
+    def test_run_with_overrides(self):
+        code, text = run_cli("--scale", "0.05", "run", "bzip2",
+                             "--model", "dmdp", "--rob", "128")
+        assert code == 0
+        assert "ipc" in text
+        assert "load mix" in text
+
+    def test_experiment_subset(self):
+        code, text = run_cli("--scale", "0.05", "experiment", "table6",
+                             "--workloads", "bzip2")
+        assert code == 0
+        assert "Table VI" in text and "bzip2" in text

@@ -1,0 +1,63 @@
+"""Unit tests for the event-based energy model."""
+
+import pytest
+
+from repro.energy import EnergyReport, edp, energy_report
+from repro.uarch import EnergyParams
+from repro.uarch.stats import SimStats
+
+
+def stats_with(events, cycles=100):
+    stats = SimStats()
+    stats.cycles = cycles
+    for name, count in events.items():
+        stats.energy_event(name, count)
+    return stats
+
+
+class TestEnergyReport:
+    def test_total_is_weighted_sum(self):
+        params = EnergyParams()
+        stats = stats_with({"alu_op": 10, "l1_access": 2})
+        report = energy_report(stats, params)
+        expected = 10 * params.alu_op + 2 * params.l1_access
+        assert report.total == pytest.approx(expected)
+        assert report.by_event["alu_op"] == pytest.approx(10 * params.alu_op)
+
+    def test_default_params(self):
+        stats = stats_with({"alu_op": 1})
+        assert energy_report(stats).total == EnergyParams().alu_op
+
+    def test_edp_is_energy_times_delay(self):
+        stats = stats_with({"alu_op": 5}, cycles=200)
+        report = energy_report(stats)
+        assert report.edp == pytest.approx(report.total * 200)
+        assert edp(stats) == pytest.approx(report.edp)
+
+    def test_unknown_event_rejected(self):
+        stats = stats_with({"flux_capacitor": 1})
+        with pytest.raises(KeyError):
+            energy_report(stats)
+
+    def test_empty_run(self):
+        report = energy_report(stats_with({}))
+        assert report.total == 0.0
+        assert report.edp == 0.0
+
+    def test_normalized_to(self):
+        ref = EnergyReport(total=100.0, cycles=50, by_event={})
+        new = EnergyReport(total=110.0, cycles=40, by_event={})
+        ratios = new.normalized_to(ref)
+        assert ratios["energy"] == pytest.approx(1.1)
+        assert ratios["delay"] == pytest.approx(0.8)
+        assert ratios["edp"] == pytest.approx(1.1 * 0.8)
+
+
+class TestModelEnergyShape:
+    def test_cam_search_dominates_ram_read(self):
+        """The EDP comparison rests on CAM searches being far costlier than
+        RAM reads (paper's store queue vs T-SSBF argument)."""
+        params = EnergyParams()
+        assert params.sq_cam_search > 3 * params.tssbf_access
+        assert params.lq_cam_search > 3 * params.tssbf_access
+        assert params.dram_access > params.l2_access > params.l1_access

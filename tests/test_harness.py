@@ -1,0 +1,131 @@
+"""Tests for the experiment runner, reporting, and experiment functions."""
+
+import pytest
+
+from repro.harness import (
+    ExperimentRunner,
+    format_table,
+    geomean,
+    paper_data,
+    percent,
+    shape_check,
+)
+from repro.harness.experiments import (
+    ALL_EXPERIMENTS,
+    fig02_load_distribution,
+    fig12_speedup,
+    table6_mpki,
+)
+from repro.uarch import ModelKind
+
+SMALL = ["bzip2", "tonto"]   # one INT + one FP keeps experiments fast
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(scale=0.15)
+
+
+class TestRunner:
+    def test_results_are_memoised(self, runner):
+        first = runner.run("bzip2", ModelKind.NOSQ)
+        second = runner.run("bzip2", ModelKind.NOSQ)
+        assert first is second
+
+    def test_overrides_create_new_cache_entries(self, runner):
+        base = runner.run("bzip2", ModelKind.DMDP)
+        other = runner.run("bzip2", ModelKind.DMDP, store_buffer_entries=64)
+        assert base is not other
+        assert other.stats.cycles != 0
+
+    def test_trace_cached_per_workload(self, runner):
+        assert runner.trace("bzip2") is runner.trace("bzip2")
+
+    def test_scale_factor_shrinks_traces(self):
+        small = ExperimentRunner(scale=0.05)
+        big = ExperimentRunner(scale=0.2)
+        assert len(small.trace("perl")) < len(big.trace("perl"))
+
+    def test_result_contains_energy(self, runner):
+        result = runner.run("bzip2", ModelKind.BASELINE)
+        assert result.energy.total > 0
+        assert result.energy.edp > 0
+
+    def test_run_suite(self, runner):
+        results = runner.run_suite(ModelKind.NOSQ, workloads=SMALL)
+        assert set(results) == set(SMALL)
+
+
+class TestReporting:
+    def test_geomean(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geomean([1.0]) == 1.0
+
+    def test_geomean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    def test_percent(self):
+        assert percent(1.0717) == pytest.approx(7.17)
+        assert percent(0.95) == pytest.approx(-5.0)
+
+    def test_format_table(self):
+        text = format_table(["a", "bb"], [[1.5, "x"], [2.25, "yy"]],
+                            title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "1.500" in text and "yy" in text
+
+    def test_shape_check(self):
+        assert shape_check(5.0, 7.0) == "+"
+        assert shape_check(-3.0, 4.0) == "-"
+        assert shape_check(0.1, 0.05) == "~"
+
+
+class TestExperiments:
+    def test_fig02_structure(self, runner):
+        result = fig02_load_distribution(runner, workloads=SMALL)
+        assert result.exp_id == "fig02"
+        assert len(result.rows) == len(SMALL)
+        for row in result.rows:
+            fractions = row[1:4]
+            assert all(0.0 <= f <= 1.0 for f in fractions)
+            assert sum(fractions) <= 1.0 + 1e-9
+
+    def test_fig12_structure(self, runner):
+        result = fig12_speedup(runner, workloads=SMALL)
+        assert len(result.rows) == len(SMALL)
+        assert "dmdp geomean INT" in result.aggregates
+        rendered = result.render()
+        assert "Fig. 12" in rendered
+        assert "bzip2" in rendered
+
+    def test_table6_structure(self, runner):
+        result = table6_mpki(runner, workloads=SMALL)
+        for row in result.rows:
+            assert row[1] >= 0 and row[2] >= 0
+
+    def test_registry_covers_every_paper_artifact(self):
+        expected = {"fig02", "fig03", "fig05", "fig12", "table4", "table5",
+                    "table6", "table7", "fig14", "fig15",
+                    "ablation_issue_width", "ablation_rob", "ablation_rmo",
+                    "ablation_regfile", "ablation_confidence",
+                    "ablation_silent_store", "ext_tage",
+                    "ext_untagged_ssbf"}
+        assert set(ALL_EXPERIMENTS) == expected
+
+
+class TestPaperData:
+    def test_table4_covers_all_benchmarks(self):
+        assert len(paper_data.TABLE4_LOAD_EXEC_TIME) == 21
+
+    def test_table4_shows_dmdp_saving_everywhere(self):
+        for name, (base, dmdp) in paper_data.TABLE4_LOAD_EXEC_TIME.items():
+            assert dmdp <= base, name
+
+    def test_headline_numbers(self):
+        claims = paper_data.AGGREGATE_CLAIMS
+        assert claims["dmdp_over_nosq_int"] == 7.17
+        assert claims["dmdp_over_nosq_fp"] == 4.48
+        assert claims["edp_saving_overall"] == 6.7
+        assert paper_data.FIG12_GEOMEAN_IPC["int"] == (0.975, 1.045, 1.068)

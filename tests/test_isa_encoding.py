@@ -1,0 +1,121 @@
+"""Unit + property tests for the binary instruction encoding."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import EncodingError, Instruction, Opcode, decode, encode
+from repro.isa.encoding import BITS_TO_OPCODE, OPCODE_TO_BITS
+
+PC = 0x0040_0100
+
+
+class TestOpcodeNumbering:
+    def test_bijective(self):
+        assert len(BITS_TO_OPCODE) == len(OPCODE_TO_BITS)
+        for op, bits in OPCODE_TO_BITS.items():
+            assert BITS_TO_OPCODE[bits] is op
+
+    def test_microops_not_encodable(self):
+        for op in (Opcode.AGI, Opcode.CMP, Opcode.CMOVP, Opcode.CMOVN):
+            assert op not in OPCODE_TO_BITS
+            with pytest.raises(EncodingError):
+                encode(Instruction(op, rd=1, rs=2, rt=3), PC)
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("instr", [
+        Instruction(Opcode.ADD, rd=1, rs=2, rt=3),
+        Instruction(Opcode.NOR, rd=31, rs=0, rt=15),
+        Instruction(Opcode.ADDI, rd=4, rs=5, imm=-32768),
+        Instruction(Opcode.ADDI, rd=4, rs=5, imm=32767),
+        Instruction(Opcode.ORI, rd=4, rs=5, imm=0xFFFF),
+        Instruction(Opcode.LUI, rd=9, imm=0xABCD),
+        Instruction(Opcode.LW, rd=9, rs=8, imm=-4),
+        Instruction(Opcode.LBU, rd=9, rs=8, imm=255),
+        Instruction(Opcode.SW, rt=9, rs=8, imm=1024),
+        Instruction(Opcode.SB, rt=1, rs=2, imm=-1),
+        Instruction(Opcode.SLL, rd=9, rs=8, imm=31),
+        Instruction(Opcode.SRA, rd=9, rs=8, imm=1),
+        Instruction(Opcode.BEQ, rs=8, rt=9, target=PC + 4 + 64),
+        Instruction(Opcode.BNE, rs=8, rt=9, target=PC + 4 - 128),
+        Instruction(Opcode.BLEZ, rs=8, target=PC + 4),
+        Instruction(Opcode.J, target=0x0040_0000),
+        Instruction(Opcode.JAL, rd=31, target=0x0040_1000),
+        Instruction(Opcode.JR, rs=31),
+        Instruction(Opcode.JALR, rd=31, rs=8),
+        Instruction(Opcode.NOP),
+        Instruction(Opcode.HALT),
+        Instruction(Opcode.FADD, rd=1, rs=2, rt=3),
+    ])
+    def test_examples(self, instr):
+        word = encode(instr, PC)
+        assert 0 <= word < (1 << 32)
+        assert decode(word, PC) == instr
+
+
+class TestEncodingErrors:
+    def test_immediate_overflow(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction(Opcode.ADDI, rd=1, rs=2, imm=40000), PC)
+        with pytest.raises(EncodingError):
+            encode(Instruction(Opcode.ORI, rd=1, rs=2, imm=-1), PC)
+
+    def test_branch_offset_overflow(self):
+        far = PC + 4 + (1 << 20)
+        with pytest.raises(EncodingError):
+            encode(Instruction(Opcode.BEQ, rs=1, rt=2, target=far), PC)
+
+    def test_misaligned_jump_target(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction(Opcode.J, target=0x400002), PC)
+
+    def test_shift_amount_range(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction(Opcode.SLL, rd=1, rs=2, imm=32), PC)
+
+    def test_unknown_opcode_bits(self):
+        with pytest.raises(EncodingError):
+            decode(0x3F << 26 | 0xFFFF, PC)  # unused opcode slot
+
+
+@st.composite
+def rr_instructions(draw):
+    op = draw(st.sampled_from([Opcode.ADD, Opcode.SUB, Opcode.AND, Opcode.OR,
+                               Opcode.XOR, Opcode.SLT, Opcode.MUL,
+                               Opcode.FADD, Opcode.FMUL]))
+    return Instruction(op, rd=draw(st.integers(0, 31)),
+                       rs=draw(st.integers(0, 31)),
+                       rt=draw(st.integers(0, 31)))
+
+
+@st.composite
+def mem_instructions(draw):
+    load = draw(st.booleans())
+    imm = draw(st.integers(-(1 << 15), (1 << 15) - 1))
+    if load:
+        op = draw(st.sampled_from([Opcode.LW, Opcode.LH, Opcode.LHU,
+                                   Opcode.LB, Opcode.LBU]))
+        return Instruction(op, rd=draw(st.integers(0, 31)),
+                           rs=draw(st.integers(0, 31)), imm=imm)
+    op = draw(st.sampled_from([Opcode.SW, Opcode.SH, Opcode.SB]))
+    return Instruction(op, rt=draw(st.integers(0, 31)),
+                       rs=draw(st.integers(0, 31)), imm=imm)
+
+
+class TestRoundtripProperties:
+    @given(rr_instructions())
+    @settings(max_examples=200)
+    def test_rr_roundtrip(self, instr):
+        assert decode(encode(instr, PC), PC) == instr
+
+    @given(mem_instructions())
+    @settings(max_examples=200)
+    def test_mem_roundtrip(self, instr):
+        assert decode(encode(instr, PC), PC) == instr
+
+    @given(st.integers(-(1 << 15), (1 << 15) - 1))
+    def test_branch_roundtrip(self, offset_words):
+        target = PC + 4 + (offset_words << 2)
+        instr = Instruction(Opcode.BEQ, rs=3, rt=7, target=target)
+        assert decode(encode(instr, PC), PC) == instr

@@ -1,0 +1,130 @@
+"""Unit tests for instruction classification and register usage."""
+
+import pytest
+
+from repro.isa import FuClass, Instruction, Opcode, disassemble
+
+
+def lw(rd=9, rs=8, imm=4):
+    return Instruction(Opcode.LW, rd=rd, rs=rs, imm=imm)
+
+
+def sw(rt=9, rs=8, imm=4):
+    return Instruction(Opcode.SW, rt=rt, rs=rs, imm=imm)
+
+
+class TestClassification:
+    def test_loads(self):
+        for op in (Opcode.LW, Opcode.LH, Opcode.LHU, Opcode.LB, Opcode.LBU):
+            instr = Instruction(op, rd=9, rs=8, imm=0)
+            assert instr.is_load and instr.is_mem and not instr.is_store
+
+    def test_stores(self):
+        for op in (Opcode.SW, Opcode.SH, Opcode.SB):
+            instr = Instruction(op, rt=9, rs=8, imm=0)
+            assert instr.is_store and instr.is_mem and not instr.is_load
+
+    def test_branches(self):
+        beq = Instruction(Opcode.BEQ, rs=8, rt=9, target=0x400000)
+        assert beq.is_cond_branch and beq.is_control and not beq.is_jump
+        j = Instruction(Opcode.J, target=0x400000)
+        assert j.is_jump and j.is_control and not j.is_cond_branch
+
+    def test_indirect_jumps(self):
+        assert Instruction(Opcode.JR, rs=31).is_indirect
+        assert Instruction(Opcode.JALR, rd=31, rs=8).is_indirect
+        assert not Instruction(Opcode.J, target=0).is_indirect
+
+    def test_fp_marked(self):
+        assert Instruction(Opcode.FADD, rd=1, rs=2, rt=3).is_fp
+        assert not Instruction(Opcode.ADD, rd=1, rs=2, rt=3).is_fp
+
+    def test_mem_sizes(self):
+        assert lw().mem_size == 4
+        assert Instruction(Opcode.LH, rd=1, rs=2, imm=0).mem_size == 2
+        assert Instruction(Opcode.SB, rt=1, rs=2, imm=0).mem_size == 1
+
+    def test_partial_word(self):
+        assert not lw().is_partial_word
+        assert Instruction(Opcode.LHU, rd=1, rs=2, imm=0).is_partial_word
+        assert Instruction(Opcode.SB, rt=1, rs=2, imm=0).is_partial_word
+
+
+class TestFuClass:
+    def test_mapping(self):
+        assert lw().fu_class is FuClass.MEM
+        assert Instruction(Opcode.BEQ, rs=1, rt=2, target=0).fu_class \
+            is FuClass.BRANCH
+        assert Instruction(Opcode.MUL, rd=1, rs=2, rt=3).fu_class \
+            is FuClass.MUL
+        assert Instruction(Opcode.FDIV, rd=1, rs=2, rt=3).fu_class \
+            is FuClass.FP
+        assert Instruction(Opcode.AGI, rd=32, rs=8, imm=0).fu_class \
+            is FuClass.AGEN
+        assert Instruction(Opcode.HALT).fu_class is FuClass.NONE
+        assert Instruction(Opcode.ADD, rd=1, rs=2, rt=3).fu_class \
+            is FuClass.ALU
+
+
+class TestRegisterUsage:
+    def test_load_reads_base_writes_dest(self):
+        instr = lw(rd=9, rs=8)
+        assert instr.dest_reg() == 9
+        assert instr.source_regs() == (8,)
+
+    def test_store_reads_base_and_data_writes_nothing(self):
+        instr = sw(rt=9, rs=8)
+        assert instr.dest_reg() is None
+        assert instr.source_regs() == (8, 9)
+
+    def test_branch_sources(self):
+        beq = Instruction(Opcode.BEQ, rs=8, rt=9, target=0)
+        assert beq.source_regs() == (8, 9)
+        assert beq.dest_reg() is None
+        blez = Instruction(Opcode.BLEZ, rs=8, target=0)
+        assert blez.source_regs() == (8,)
+
+    def test_jal_writes_ra(self):
+        jal = Instruction(Opcode.JAL, rd=31, target=0)
+        assert jal.dest_reg() == 31
+        assert jal.source_regs() == ()
+
+    def test_jr_reads_target_register(self):
+        jr = Instruction(Opcode.JR, rs=31)
+        assert jr.source_regs() == (31,)
+        assert jr.dest_reg() is None
+
+    def test_lui_has_no_sources(self):
+        lui = Instruction(Opcode.LUI, rd=9, imm=0x1000)
+        assert lui.source_regs() == ()
+        assert lui.dest_reg() == 9
+
+    def test_shift_immediate_single_source(self):
+        sll = Instruction(Opcode.SLL, rd=9, rs=8, imm=3)
+        assert sll.source_regs() == (8,)
+
+    def test_nop_halt(self):
+        for op in (Opcode.NOP, Opcode.HALT):
+            instr = Instruction(op)
+            assert instr.dest_reg() is None
+            assert instr.source_regs() == ()
+
+
+class TestDisassemble:
+    @pytest.mark.parametrize("instr,expected", [
+        (Instruction(Opcode.ADD, rd=10, rs=8, rt=9), "add $t2, $t0, $t1"),
+        (lw(), "lw $t1, 4($t0)"),
+        (sw(), "sw $t1, 4($t0)"),
+        (Instruction(Opcode.NOP), "nop"),
+        (Instruction(Opcode.HALT), "halt"),
+        (Instruction(Opcode.JR, rs=31), "jr $ra"),
+        (Instruction(Opcode.LUI, rd=9, imm=16), "lui $t1, 16"),
+        (Instruction(Opcode.SLL, rd=9, rs=8, imm=2), "sll $t1, $t0, 2"),
+    ])
+    def test_forms(self, instr, expected):
+        assert disassemble(instr) == expected
+
+    def test_branch_uses_label_when_known(self):
+        beq = Instruction(Opcode.BEQ, rs=8, rt=9, target=0x400010,
+                          target_label="loop")
+        assert disassemble(beq) == "beq $t0, $t1, loop"

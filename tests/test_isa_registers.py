@@ -1,0 +1,72 @@
+"""Unit tests for register naming and numbering."""
+
+import pytest
+
+from repro.isa import (
+    NUM_ARCH_REGS,
+    NUM_LOGICAL_REGS,
+    REG_AGI,
+    REG_LDTMP,
+    REG_PRED,
+    RegisterError,
+    is_hardware_only,
+    parse_register,
+    register_name,
+)
+
+
+class TestParseRegister:
+    def test_named_registers(self):
+        assert parse_register("$zero") == 0
+        assert parse_register("$at") == 1
+        assert parse_register("$t0") == 8
+        assert parse_register("$s0") == 16
+        assert parse_register("$sp") == 29
+        assert parse_register("$ra") == 31
+
+    def test_numeric_aliases(self):
+        for num in range(NUM_ARCH_REGS):
+            assert parse_register("$%d" % num) == num
+
+    def test_case_insensitive_and_whitespace(self):
+        assert parse_register(" $T0 ") == 8
+        assert parse_register("$ZERO") == 0
+
+    def test_unknown_register_raises(self):
+        with pytest.raises(RegisterError):
+            parse_register("$nope")
+        with pytest.raises(RegisterError):
+            parse_register("t0")  # missing dollar
+
+    def test_hardware_only_rejected_by_default(self):
+        for name in ("$agi", "$ldtmp", "$pred", "$32", "$34"):
+            with pytest.raises(RegisterError):
+                parse_register(name)
+
+    def test_hardware_only_allowed_when_requested(self):
+        assert parse_register("$agi", allow_hw=True) == REG_AGI
+        assert parse_register("$ldtmp", allow_hw=True) == REG_LDTMP
+        assert parse_register("$pred", allow_hw=True) == REG_PRED
+
+
+class TestRegisterName:
+    def test_roundtrip_all(self):
+        for num in range(NUM_LOGICAL_REGS):
+            name = register_name(num)
+            assert parse_register(name, allow_hw=True) == num
+
+    def test_out_of_range(self):
+        with pytest.raises(RegisterError):
+            register_name(NUM_LOGICAL_REGS)
+        with pytest.raises(RegisterError):
+            register_name(-1)
+
+
+class TestHardwareOnly:
+    def test_architectural_registers_are_not_hw_only(self):
+        assert not any(is_hardware_only(n) for n in range(NUM_ARCH_REGS))
+
+    def test_microop_registers_are_hw_only(self):
+        assert is_hardware_only(REG_AGI)
+        assert is_hardware_only(REG_LDTMP)
+        assert is_hardware_only(REG_PRED)

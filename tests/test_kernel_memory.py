@@ -1,0 +1,109 @@
+"""Unit + property tests for the sparse memory."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernel import SparseMemory
+from repro.kernel.memory import MemoryError_, PAGE_SIZE
+
+
+class TestBasics:
+    def test_uninitialised_reads_zero(self):
+        mem = SparseMemory()
+        assert mem.read_word(0x1000) == 0
+        assert mem.read_byte(0xFFFF_FFFC) == 0
+
+    def test_word_roundtrip(self):
+        mem = SparseMemory()
+        mem.write_word(0x2000, 0xDEADBEEF)
+        assert mem.read_word(0x2000) == 0xDEADBEEF
+
+    def test_little_endian_layout(self):
+        mem = SparseMemory()
+        mem.write_word(0x100, 0x11223344)
+        assert mem.read_byte(0x100) == 0x44
+        assert mem.read_byte(0x103) == 0x11
+
+    def test_halfword_and_byte(self):
+        mem = SparseMemory()
+        mem.write(0x200, 0xBEEF, 2)
+        assert mem.read(0x200, 2) == 0xBEEF
+        mem.write(0x203, 0x7F, 1)
+        assert mem.read(0x203, 1) == 0x7F
+
+    def test_value_masking(self):
+        mem = SparseMemory()
+        mem.write(0x300, 0x1_FFFF_FFFF, 4)
+        assert mem.read_word(0x300) == 0xFFFF_FFFF
+        mem.write(0x304, -1, 4)
+        assert mem.read_word(0x304) == 0xFFFF_FFFF
+
+    def test_misaligned_access_rejected(self):
+        mem = SparseMemory()
+        with pytest.raises(MemoryError_):
+            mem.read(0x101, 4)
+        with pytest.raises(MemoryError_):
+            mem.write(0x102, 1, 4)
+        with pytest.raises(MemoryError_):
+            mem.read(0x101, 2)
+
+    def test_cross_page_word(self):
+        mem = SparseMemory()
+        addr = PAGE_SIZE - 4
+        mem.write_word(addr, 0xCAFEBABE)
+        assert mem.read_word(addr) == 0xCAFEBABE
+
+    def test_load_segment(self):
+        mem = SparseMemory()
+        mem.load_segment(0x1_0000, bytes(range(16)))
+        assert mem.read_bytes(0x1_0000, 16) == bytes(range(16))
+
+    def test_copy_is_independent(self):
+        mem = SparseMemory()
+        mem.write_word(0x100, 7)
+        clone = mem.copy()
+        clone.write_word(0x100, 9)
+        assert mem.read_word(0x100) == 7
+        assert clone.read_word(0x100) == 9
+
+    def test_touched_pages(self):
+        mem = SparseMemory()
+        assert not list(mem.touched_pages())
+        mem.write_byte(0x5000, 1)
+        assert len(list(mem.touched_pages())) == 1
+
+
+class TestProperties:
+    @given(st.integers(0, 0xFFFF_FFF0), st.integers(0, 0xFFFF_FFFF))
+    @settings(max_examples=200)
+    def test_word_roundtrip_property(self, addr, value):
+        addr &= ~0x3
+        mem = SparseMemory()
+        mem.write_word(addr, value)
+        assert mem.read_word(addr) == value
+
+    @given(st.lists(st.tuples(st.integers(0, 1 << 16), st.integers(0, 255)),
+                    min_size=1, max_size=50))
+    def test_byte_writes_match_model(self, writes):
+        mem = SparseMemory()
+        model = {}
+        for addr, value in writes:
+            mem.write_byte(addr, value)
+            model[addr] = value
+        for addr, value in model.items():
+            assert mem.read_byte(addr) == value
+
+    @given(st.integers(0, 1 << 20), st.binary(min_size=1, max_size=32))
+    def test_bytes_roundtrip(self, addr, data):
+        mem = SparseMemory()
+        mem.write_bytes(addr, data)
+        assert mem.read_bytes(addr, len(data)) == data
+
+    @given(st.integers(0, 1 << 20), st.integers(0, 0xFFFF_FFFF),
+           st.sampled_from([1, 2, 4]))
+    def test_sized_write_reads_back_masked(self, addr, value, size):
+        addr -= addr % size
+        mem = SparseMemory()
+        mem.write(addr, value, size)
+        assert mem.read(addr, size) == value & ((1 << (8 * size)) - 1)

@@ -1,0 +1,186 @@
+"""Unit tests for trace recording and oracle dependence annotation."""
+
+from repro.isa import assemble
+from repro.kernel import FunctionalCpu, trace_summary
+
+
+def trace_of(source):
+    return FunctionalCpu(assemble(source)).run_trace()
+
+
+class TestOracleDependences:
+    def test_load_from_store_same_word(self):
+        trace = trace_of("""
+            .data
+        buf: .word 0
+            .text
+        main: la $t0, buf
+              li $t1, 7
+              sw $t1, 0($t0)
+              lw $t2, 0($t0)
+              halt
+        """)
+        load = [e for e in trace if e.is_load][-1]
+        store = [e for e in trace if e.is_store][-1]
+        assert load.dep_store == store.index
+        assert load.dep_covers
+        assert load.value == 7
+
+    def test_independent_load(self):
+        trace = trace_of("""
+            .data
+        buf: .word 42
+            .text
+        main: la $t0, buf
+              lw $t1, 0($t0)
+              halt
+        """)
+        load = [e for e in trace if e.is_load][-1]
+        assert load.dep_store is None
+        assert not load.dep_covers
+        assert load.value == 42
+
+    def test_youngest_store_wins(self):
+        trace = trace_of("""
+            .data
+        buf: .word 0
+            .text
+        main: la $t0, buf
+              li $t1, 1
+              sw $t1, 0($t0)
+              li $t1, 2
+              sw $t1, 0($t0)
+              lw $t2, 0($t0)
+              halt
+        """)
+        load = [e for e in trace if e.is_load][-1]
+        stores = [e for e in trace if e.is_store]
+        assert load.dep_store == stores[-1].index
+        assert load.value == 2
+
+    def test_partial_coverage_detected(self):
+        trace = trace_of("""
+            .data
+        buf: .word 0
+            .text
+        main: la $t0, buf
+              li $t1, 0xAA
+              sb $t1, 0($t0)
+              li $t1, 0xBB
+              sb $t1, 1($t0)
+              lhu $t2, 0($t0)
+              halt
+        """)
+        load = [e for e in trace if e.is_load][-1]
+        # Two different byte stores feed the halfword load.
+        assert load.dep_store is not None
+        assert not load.dep_covers
+        assert load.value == 0xBBAA
+
+    def test_wide_store_covers_narrow_load(self):
+        trace = trace_of("""
+            .data
+        buf: .word 0
+            .text
+        main: la $t0, buf
+              li $t1, 0x11223344
+              sw $t1, 0($t0)
+              lhu $t2, 2($t0)
+              halt
+        """)
+        load = [e for e in trace if e.is_load][-1]
+        assert load.dep_covers
+        assert load.value == 0x1122
+
+
+class TestSilentStores:
+    def test_silent_store_flagged(self):
+        trace = trace_of("""
+            .data
+        buf: .word 5
+            .text
+        main: la $t0, buf
+              li $t1, 5
+              sw $t1, 0($t0)     # writes the value already present
+              li $t2, 6
+              sw $t2, 0($t0)     # changes the value
+              halt
+        """)
+        stores = [e for e in trace if e.is_store]
+        assert stores[0].silent
+        assert not stores[1].silent
+
+
+class TestWordAddrAndBab:
+    def test_word_load(self):
+        trace = trace_of("""
+            .data
+        buf: .word 1, 2
+            .text
+        main: la $t0, buf
+              lw $t1, 4($t0)
+              halt
+        """)
+        load = [e for e in trace if e.is_load][-1]
+        assert load.word_addr == load.mem_addr
+        assert load.bab == 0xF
+
+    def test_byte_access_bits_offsets(self):
+        trace = trace_of("""
+            .data
+        buf: .word 0
+            .text
+        main: la $t0, buf
+              lbu $t1, 0($t0)
+              lbu $t2, 3($t0)
+              lhu $t3, 2($t0)
+              halt
+        """)
+        loads = [e for e in trace if e.is_load]
+        assert loads[0].bab == 0b0001
+        assert loads[1].bab == 0b1000
+        assert loads[2].bab == 0b1100
+        assert loads[2].word_addr == loads[0].word_addr
+
+
+class TestTraceShape:
+    def test_branch_outcomes_recorded(self):
+        trace = trace_of("""
+            .text
+        main: li $t0, 2
+        loop: addi $t0, $t0, -1
+              bnez $t0, loop
+              halt
+        """)
+        branches = [e for e in trace if e.instr.is_control]
+        assert [b.taken for b in branches] == [True, False]
+
+    def test_next_pc_chain_is_consistent(self):
+        trace = trace_of("""
+            .text
+        main: li $t0, 3
+        loop: addi $t0, $t0, -1
+              bnez $t0, loop
+              halt
+        """)
+        for prev, cur in zip(trace, trace[1:]):
+            assert prev.next_pc == cur.pc
+
+    def test_summary_counts(self):
+        trace = trace_of("""
+            .data
+        buf: .word 0
+            .text
+        main: la $t0, buf
+              li $t1, 1
+              sw $t1, 0($t0)
+              lw $t2, 0($t0)
+              beq $t2, $t1, done
+              nop
+        done: halt
+        """)
+        summary = trace_summary(trace)
+        assert summary["loads"] == 1
+        assert summary["stores"] == 1
+        assert summary["branches"] == 1
+        assert summary["dependent_loads"] == 1

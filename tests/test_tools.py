@@ -1,0 +1,45 @@
+"""Tests for tools/make_experiments_md.py."""
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+TOOL = Path(__file__).parent.parent / "tools" / "make_experiments_md.py"
+
+
+@pytest.fixture()
+def tool():
+    spec = importlib.util.spec_from_file_location("make_experiments_md", TOOL)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestGenerator:
+    def test_sections_cover_all_experiments(self, tool):
+        from repro.harness.experiments import ALL_EXPERIMENTS
+        ids = {exp_id for exp_id, *_ in tool.SECTIONS}
+        assert ids == set(ALL_EXPERIMENTS)
+
+    def test_generate_with_reports(self, tool, tmp_path):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "fig12.txt").write_text("Fig. 12 measured table\n")
+        output = tmp_path / "EXPERIMENTS.md"
+        missing = tool.generate(results, output)
+        text = output.read_text()
+        assert "Fig. 12 measured table" in text
+        assert missing == len(tool.SECTIONS) - 1
+        assert "report missing" in text
+
+    def test_generate_all_present(self, tool, tmp_path):
+        results = tmp_path / "results"
+        results.mkdir()
+        for exp_id, *_ in tool.SECTIONS:
+            (results / ("%s.txt" % exp_id)).write_text("data %s\n" % exp_id)
+        output = tmp_path / "out.md"
+        assert tool.generate(results, output) == 0
+        text = output.read_text()
+        assert "report missing" not in text
+        assert text.count("**Paper:**") == len(tool.SECTIONS)

@@ -1,0 +1,120 @@
+"""Unit tests for the cache hierarchy and DRAM models."""
+
+from repro.uarch import CacheParams, Dram, MemoryHierarchy, SetAssocCache
+from repro.uarch.stats import SimStats
+
+
+def small_hierarchy():
+    stats = SimStats()
+    hier = MemoryHierarchy(
+        CacheParams(size_bytes=1024, assoc=2, line_bytes=64, hit_latency=4),
+        CacheParams(size_bytes=8192, assoc=4, line_bytes=64, hit_latency=12),
+        dram_latency=100, dram_banks=2, stats=stats)
+    return hier, stats
+
+
+class TestSetAssocCache:
+    def test_miss_then_hit_after_fill(self):
+        cache = SetAssocCache(CacheParams(1024, 2, 64, 4))
+        assert not cache.lookup(0x1000)
+        cache.fill(0x1000)
+        assert cache.lookup(0x1000)
+
+    def test_lru_eviction(self):
+        cache = SetAssocCache(CacheParams(1024, 2, 64, 4))
+        num_sets = cache.num_sets
+        way_stride = num_sets * 64
+        a, b, c = 0x0, way_stride, 2 * way_stride  # same set
+        cache.fill(a)
+        cache.fill(b)
+        cache.lookup(a)          # promote a to MRU
+        cache.fill(c)            # evicts b (LRU)
+        assert cache.lookup(a)
+        assert not cache.lookup(b)
+        assert cache.lookup(c)
+
+    def test_same_line_bytes_share_entry(self):
+        cache = SetAssocCache(CacheParams(1024, 2, 64, 4))
+        cache.fill(0x1000)
+        assert cache.lookup(0x1000 + 63)
+        assert not cache.lookup(0x1000 + 64)
+
+    def test_invalidate(self):
+        cache = SetAssocCache(CacheParams(1024, 2, 64, 4))
+        cache.fill(0x2000)
+        assert cache.invalidate(0x2000)
+        assert not cache.lookup(0x2000)
+        assert not cache.invalidate(0x2000)
+
+
+class TestDram:
+    def test_row_conflict_latency(self):
+        dram = Dram(latency=100, banks=2)
+        assert dram.access(10, address=0x0) == 110
+
+    def test_row_buffer_hit_is_faster(self):
+        dram = Dram(latency=100, banks=2, row_hit_latency=40)
+        first = dram.access(0, address=0x0)
+        second = dram.access(first, address=0x0)   # same row, same bank
+        assert second - first == 40
+        assert dram.row_hits == 1
+
+    def test_bank_backpressure(self):
+        dram = Dram(latency=100, banks=2)
+        bank0_a = dram.access(0, address=0x0)
+        bank1 = dram.access(0, address=0x40)     # other bank: parallel
+        bank0_b = dram.access(0, address=0x80000)  # bank 0 again: queued
+        assert bank0_a == 100 and bank1 == 100
+        assert bank0_b > bank0_a
+
+    def test_banks_selected_by_address(self):
+        dram = Dram(latency=100, banks=4)
+        lines = [dram._bank_and_row(i * 64)[0] for i in range(4)]
+        assert lines == [0, 1, 2, 3]
+
+
+class TestHierarchy:
+    def test_cold_miss_goes_to_dram(self):
+        hier, stats = small_hierarchy()
+        done = hier.access(0x10000, cycle=0)
+        assert done == 4 + 12 + 100
+        assert stats.l1_misses == 1 and stats.l2_misses == 1
+
+    def test_l1_hit_after_fill(self):
+        hier, stats = small_hierarchy()
+        hier.access(0x10000, cycle=0)
+        done = hier.access(0x10000, cycle=200)
+        assert done == 204
+        assert stats.l1_hits == 1
+
+    def test_l2_hit_after_l1_eviction(self):
+        hier, stats = small_hierarchy()
+        hier.access(0x0, cycle=0)
+        # Thrash the single L1 set (2 ways) with two more lines.
+        l1_way_stride = hier.l1.num_sets * 64
+        hier.access(l1_way_stride, cycle=0)
+        hier.access(2 * l1_way_stride, cycle=0)
+        done = hier.access(0x0, cycle=1000)
+        assert done == 1000 + 4 + 12
+        assert stats.l2_hits == 1
+
+    def test_invalidate_line_removes_from_both_levels(self):
+        hier, _ = small_hierarchy()
+        hier.access(0x40, cycle=0)
+        hier.invalidate_line(0x40)
+        assert not hier.l1.lookup(0x40)
+        assert not hier.l2.lookup(0x40)
+
+    def test_probe_latency_matches_state(self):
+        hier, _ = small_hierarchy()
+        assert hier.probe_latency(0x9000) == 4 + 12 + 100
+        hier.access(0x9000, cycle=0)
+        assert hier.probe_latency(0x9000) == 4
+
+    def test_energy_events_counted(self):
+        hier, stats = small_hierarchy()
+        hier.access(0x40, 0)
+        hier.access(0x40, 200)
+        assert stats.energy_events["l1_access"] == 2
+        assert stats.energy_events["l2_access"] == 1
+        assert stats.energy_events["dram_access"] == 1

@@ -1,0 +1,139 @@
+"""Unit tests for the path-sensitive store distance predictor."""
+
+from repro.uarch import ConfidencePolicy, StoreDistancePredictor
+from repro.uarch.params import PredictorParams
+
+
+def make(**kw):
+    return StoreDistancePredictor(PredictorParams(**kw))
+
+
+PC = 0x0040_0120
+
+
+class TestPrediction:
+    def test_cold_miss_predicts_independent(self):
+        sdp = make()
+        assert sdp.predict(PC, history=0) is None
+
+    def test_learns_dependence_on_mispredict(self):
+        sdp = make()
+        sdp.train_mispredict(PC, 0, actual_distance=3,
+                             policy=ConfidencePolicy.BALANCED)
+        pred = sdp.predict(PC, 0)
+        assert pred is not None
+        assert pred.distance == 3
+        assert pred.confidence == 64          # paper: initialised to 64
+
+    def test_initial_confidence_selects_cloaking(self):
+        sdp = make()
+        sdp.train_mispredict(PC, 0, 3, ConfidencePolicy.BALANCED)
+        pred = sdp.predict(PC, 0)
+        assert pred.is_high_confidence(threshold=63)
+
+    def test_correct_training_saturates(self):
+        sdp = make()
+        sdp.train_mispredict(PC, 0, 3, ConfidencePolicy.BALANCED)
+        for _ in range(200):
+            sdp.train_correct(PC, 0)
+        assert sdp.predict(PC, 0).confidence == 127
+
+    def test_independent_outcome_does_not_allocate(self):
+        sdp = make()
+        sdp.train_mispredict(PC, 0, actual_distance=None,
+                             policy=ConfidencePolicy.BALANCED)
+        assert sdp.predict(PC, 0) is None
+
+    def test_distance_beyond_field_not_learned(self):
+        sdp = make(max_distance=63)
+        sdp.train_mispredict(PC, 0, actual_distance=64,
+                             policy=ConfidencePolicy.BALANCED)
+        assert sdp.predict(PC, 0) is None
+
+
+class TestConfidencePolicies:
+    def _trained(self):
+        sdp = make()
+        sdp.train_mispredict(PC, 0, 3, ConfidencePolicy.BALANCED)
+        for _ in range(16):
+            sdp.train_correct(PC, 0)   # confidence 80
+        return sdp
+
+    def test_balanced_decrements(self):
+        """NoSQ: -1 per misprediction (paper Section IV-E)."""
+        sdp = self._trained()
+        before = sdp.predict(PC, 0).confidence
+        sdp.train_mispredict(PC, 0, 3, ConfidencePolicy.BALANCED)
+        assert sdp.predict(PC, 0).confidence == before - 1
+
+    def test_biased_halves(self):
+        """DMDP: divide by two per misprediction (paper Section IV-E)."""
+        sdp = self._trained()
+        before = sdp.predict(PC, 0).confidence
+        sdp.train_mispredict(PC, 0, 3, ConfidencePolicy.BIASED)
+        assert sdp.predict(PC, 0).confidence == before // 2
+
+    def test_biased_reaches_low_confidence_faster(self):
+        """The paper's point: the biased policy pushes hard-to-predict
+        loads below the threshold in far fewer mispredictions."""
+        results = {}
+        for policy in ConfidencePolicy:
+            sdp = make()
+            sdp.train_mispredict(PC, 0, 3, policy)
+            for _ in range(63):
+                sdp.train_correct(PC, 0)  # confidence 127
+            count = 0
+            while sdp.predict(PC, 0).is_high_confidence(63):
+                sdp.train_mispredict(PC, 0, 3, policy)
+                count += 1
+            results[policy] = count
+        assert results[ConfidencePolicy.BIASED] < \
+            results[ConfidencePolicy.BALANCED]
+
+    def test_mispredict_updates_distance(self):
+        sdp = make()
+        sdp.train_mispredict(PC, 0, 3, ConfidencePolicy.BALANCED)
+        sdp.train_mispredict(PC, 0, 7, ConfidencePolicy.BALANCED)
+        assert sdp.predict(PC, 0).distance == 7
+
+
+class TestPathSensitivity:
+    def test_sensitive_table_wins(self):
+        """Both tables are read; the path-sensitive prediction is selected
+        when available (paper Section IV-A.d)."""
+        sdp = make()
+        # Train two different distances under two histories.
+        sdp.train_mispredict(PC, 0b0001, 2, ConfidencePolicy.BALANCED)
+        sdp.train_mispredict(PC, 0b0010, 5, ConfidencePolicy.BALANCED)
+        assert sdp.predict(PC, 0b0001).distance == 2
+        assert sdp.predict(PC, 0b0001).path_sensitive
+        assert sdp.predict(PC, 0b0010).distance == 5
+
+    def test_insensitive_fallback(self):
+        sdp = make()
+        sdp.train_mispredict(PC, 0b0001, 4, ConfidencePolicy.BALANCED)
+        # A new history misses the path-sensitive table but hits the
+        # path-insensitive one.
+        pred = sdp.predict(PC, 0b1111)
+        assert pred is not None
+        assert not pred.path_sensitive
+        assert pred.distance == 4
+
+    def test_history_masked_to_configured_bits(self):
+        sdp = make(history_bits=4)
+        sdp.train_mispredict(PC, 0b10001, 3, ConfidencePolicy.BALANCED)
+        # Histories equal modulo 4 bits alias to the same entry.
+        pred = sdp.predict(PC, 0b00001)
+        assert pred is not None and pred.path_sensitive
+
+
+class TestCapacity:
+    def test_lru_within_set(self):
+        sdp = make(distance_entries=16, distance_assoc=4)
+        # 4 sets; five PCs mapping to one set evict the LRU entry.
+        pcs = [PC + 4 * 4 * i for i in range(5)]
+        for i, pc in enumerate(pcs):
+            sdp.train_mispredict(pc, 0, 1 + (i % 4),
+                                 policy=ConfidencePolicy.BALANCED)
+        assert sdp.predict(pcs[0], 0) is None       # evicted
+        assert sdp.predict(pcs[-1], 0) is not None

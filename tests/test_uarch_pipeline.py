@@ -1,0 +1,339 @@
+"""Integration tests for the cycle-level pipeline across all four models."""
+
+import pytest
+
+from repro.isa import ProgramBuilder
+from repro.kernel import FunctionalCpu
+from repro.uarch import (
+    ALL_MODELS,
+    Consistency,
+    LoadKind,
+    ModelKind,
+    Simulator,
+    model_params,
+)
+from repro.workloads import lcg_sequence, zipf_like
+
+
+def run(prog, model, **overrides):
+    trace = FunctionalCpu(prog).run_trace()
+    params = model_params(model, **overrides)
+    sim = Simulator(prog, trace, params)
+    stats = sim.run()
+    return stats, sim
+
+
+def ac_spill_kernel(iterations=300):
+    """Always-colliding: spill a value and reload it immediately."""
+    b = ProgramBuilder()
+    b.data_label("slot")
+    b.word(0, 0)
+    b.label("main")
+    b.la("$s0", "slot")
+    b.li("$t0", 0)
+    b.li("$t9", iterations)
+    b.label("loop")
+    b.addi("$t1", "$t0", 17)
+    b.sw("$t1", 0, "$s0")
+    b.lw("$t2", 0, "$s0")       # AC: always collides, distance 0
+    b.add("$t3", "$t2", "$t2")
+    b.addi("$t0", "$t0", 1)
+    b.blt("$t0", "$t9", "loop")
+    b.halt()
+    return b.build()
+
+
+def oc_kernel(iterations=400, slots=16):
+    """Occasionally colliding pointer-update loop (paper Fig. 1)."""
+    b = ProgramBuilder()
+    b.data_label("ptrs")
+    b.word(*[v * 4 for v in zipf_like(iterations, slots, seed=3)])
+    b.data_label("x")
+    b.word(*([0] * slots))
+    b.label("main")
+    b.la("$s0", "ptrs")
+    b.la("$s1", "x")
+    b.li("$t0", 0)
+    b.li("$t9", iterations)
+    b.label("loop")
+    b.sll("$t1", "$t0", 2)
+    b.add("$t1", "$s0", "$t1")
+    b.lw("$t2", 0, "$t1")
+    b.add("$t3", "$s1", "$t2")
+    b.lw("$t4", 0, "$t3")
+    b.addi("$t4", "$t4", 1)
+    b.sw("$t4", 0, "$t3")
+    b.addi("$t0", "$t0", 1)
+    b.blt("$t0", "$t9", "loop")
+    b.halt()
+    return b.build()
+
+
+def nc_kernel(iterations=300):
+    """Never colliding: reads one array, writes another."""
+    b = ProgramBuilder()
+    b.data_label("src")
+    b.word(*lcg_sequence(64, 1000, seed=5))
+    b.data_label("dst")
+    b.word(*([0] * 64))
+    b.label("main")
+    b.la("$s0", "src")
+    b.la("$s1", "dst")
+    b.li("$t0", 0)
+    b.li("$t9", iterations)
+    b.label("loop")
+    b.andi("$t1", "$t0", 0x3F)
+    b.sll("$t1", "$t1", 2)
+    b.add("$t2", "$s0", "$t1")
+    b.lw("$t3", 0, "$t2")
+    b.add("$t4", "$s1", "$t1")
+    b.sw("$t3", 0, "$t4")
+    b.addi("$t0", "$t0", 1)
+    b.blt("$t0", "$t9", "loop")
+    b.halt()
+    return b.build()
+
+
+class TestBasicExecution:
+    @pytest.mark.parametrize("model", ALL_MODELS)
+    def test_all_models_complete(self, model):
+        stats, _ = run(ac_spill_kernel(100), model)
+        assert stats.instructions > 0
+        assert 0 < stats.ipc <= 8.0
+
+    @pytest.mark.parametrize("model", ALL_MODELS)
+    def test_deterministic(self, model):
+        first, _ = run(oc_kernel(200), model)
+        second, _ = run(oc_kernel(200), model)
+        assert first.cycles == second.cycles
+        assert first.dep_mispredictions == second.dep_mispredictions
+
+    def test_every_instruction_retires(self):
+        prog = oc_kernel(150)
+        trace = FunctionalCpu(prog).run_trace()
+        stats, sim = run(prog, ModelKind.DMDP)
+        assert stats.instructions == len(trace)
+        assert not sim.rob
+        assert sim.sb.is_empty
+
+
+class TestModelBehaviours:
+    def test_ac_pattern_cloaks_in_nosq(self):
+        stats, _ = run(ac_spill_kernel(), ModelKind.NOSQ)
+        dist = stats.load_distribution()
+        assert dist[LoadKind.BYPASS.value] > 0.8
+
+    def test_ac_pattern_cloaks_in_dmdp(self):
+        stats, _ = run(ac_spill_kernel(), ModelKind.DMDP)
+        assert stats.load_distribution()[LoadKind.BYPASS.value] > 0.8
+        assert stats.dep_mpki < 1.0
+
+    def test_oc_pattern_delays_in_nosq(self):
+        stats, _ = run(oc_kernel(), ModelKind.NOSQ)
+        assert stats.delayed_loads > 0
+        assert stats.load_distribution()[LoadKind.DELAYED.value] > 0.05
+
+    def test_oc_pattern_predicates_in_dmdp(self):
+        stats, _ = run(oc_kernel(), ModelKind.DMDP)
+        assert stats.predicated_loads > 0
+        assert stats.delayed_loads == 0
+        assert stats.load_distribution()[LoadKind.PREDICATED.value] > 0.05
+
+    def test_nc_pattern_reads_directly_everywhere(self):
+        for model in ALL_MODELS:
+            stats, _ = run(nc_kernel(), model)
+            key = (LoadKind.DIRECT.value if model is not ModelKind.BASELINE
+                   else LoadKind.DIRECT.value)
+            assert stats.load_distribution()[key] > 0.95, model
+
+    def test_baseline_forwards_through_store_queue(self):
+        stats, _ = run(ac_spill_kernel(), ModelKind.BASELINE)
+        assert stats.load_distribution()[LoadKind.FORWARDED.value] > 0.5
+
+    def test_perfect_never_mispredicts(self):
+        stats, _ = run(oc_kernel(), ModelKind.PERFECT)
+        assert stats.dep_mispredictions == 0
+        assert stats.reexecutions == 0
+
+    def test_perfect_cloaks_ac(self):
+        stats, _ = run(ac_spill_kernel(), ModelKind.PERFECT)
+        assert stats.load_distribution()[LoadKind.BYPASS.value] > 0.8
+
+    def test_dmdp_beats_nosq_on_oc(self):
+        # The paper's clean OC story needs a *stable* colliding distance
+        # (IndepStore + Correct dominated, Fig. 5); the wrf kernel is the
+        # canonical case.  Dense random-distance collisions (the bzip2
+        # corner, our zipf kernel) can instead favour NoSQ's delaying.
+        from repro.workloads import get_workload
+        prog = get_workload("wrf").build(300)
+        nosq, _ = run(prog, ModelKind.NOSQ)
+        dmdp, _ = run(prog, ModelKind.DMDP)
+        assert dmdp.ipc > nosq.ipc
+
+    def test_dmdp_inserts_extra_uops(self):
+        nosq, _ = run(oc_kernel(), ModelKind.NOSQ)
+        dmdp, _ = run(oc_kernel(), ModelKind.DMDP)
+        assert dmdp.uops > nosq.uops   # CMP + 2 CMOVs per predication
+
+    def test_lowconf_outcomes_populated(self):
+        stats, _ = run(oc_kernel(600), ModelKind.NOSQ)
+        assert sum(stats.lowconf_outcome.values()) > 0
+
+
+class TestRecovery:
+    def test_violations_detected_and_recovered(self):
+        """The OC kernel must produce genuine memory-order violations in
+        NoSQ/DMDP, each with a full squash, and still complete."""
+        stats, _ = run(oc_kernel(800, slots=8), ModelKind.DMDP)
+        assert stats.dep_mispredictions > 0
+        assert stats.energy_events["recovery_overhead"] == \
+            stats.dep_mispredictions
+
+    def test_baseline_violations_train_store_sets(self):
+        stats, sim = run(oc_kernel(800, slots=8), ModelKind.BASELINE)
+        # Store sets learn from violations, so late-run violations go down;
+        # the net must still complete correctly.
+        assert stats.instructions == len(sim.trace)
+
+    def test_reexecution_counts(self):
+        stats, _ = run(oc_kernel(800, slots=8), ModelKind.NOSQ)
+        assert stats.reexecutions >= stats.dep_mispredictions
+
+
+class TestStructuralPressure:
+    def test_small_store_buffer_stalls_more(self):
+        big, _ = run(nc_kernel(800), ModelKind.DMDP,
+                     store_buffer_entries=64)
+        small, _ = run(nc_kernel(800), ModelKind.DMDP,
+                       store_buffer_entries=2)
+        assert small.sb_full_stall_cycles > big.sb_full_stall_cycles
+        assert small.cycles >= big.cycles
+
+    def test_narrow_core_is_slower(self):
+        wide, _ = run(oc_kernel(), ModelKind.DMDP)
+        narrow, _ = run(oc_kernel(), ModelKind.DMDP, fetch_width=2,
+                        rename_width=2, issue_width=2, retire_width=2)
+        assert narrow.cycles > wide.cycles
+
+    def test_fewer_pregs_still_correct(self):
+        stats, _ = run(oc_kernel(), ModelKind.DMDP, num_pregs=64)
+        assert stats.instructions > 0
+
+    def test_rmo_runs(self):
+        stats, _ = run(nc_kernel(), ModelKind.DMDP,
+                       consistency=Consistency.RMO)
+        assert stats.ipc > 0
+
+    def test_ipc_bounded_by_retire_width(self):
+        for model in ALL_MODELS:
+            stats, _ = run(nc_kernel(), model)
+            assert stats.ipc <= 8.0
+
+
+class TestConsistencyHook:
+    def test_invalidation_injection(self):
+        prog = nc_kernel(50)
+        trace = FunctionalCpu(prog).run_trace()
+        sim = Simulator(prog, trace, model_params(ModelKind.DMDP))
+        sim.inject_invalidation(prog.data_base)
+        # Every word of the invalidated line is marked with SSN_commit + 1.
+        result = sim.tssbf.load_lookup(prog.data_base, 0xF)
+        assert result.matched
+        assert result.ssn == sim.ssn.commit + 1
+        sim.run()
+
+
+class TestPartialWord:
+    def test_partial_word_forwarding(self):
+        """Halfword store -> halfword load chains work in every model."""
+        b = ProgramBuilder()
+        b.data_label("buf")
+        b.word(0, 0)
+        b.label("main")
+        b.la("$s0", "buf")
+        b.li("$t0", 0)
+        b.li("$t9", 200)
+        b.label("loop")
+        b.andi("$t1", "$t0", 0xFFF)
+        b.sh("$t1", 2, "$s0")
+        b.lhu("$t2", 2, "$s0")      # partial-word AC reload
+        b.add("$t3", "$t2", "$t2")
+        b.addi("$t0", "$t0", 1)
+        b.blt("$t0", "$t9", "loop")
+        b.halt()
+        prog = b.build()
+        for model in ALL_MODELS:
+            stats, _ = run(prog, model)
+            assert stats.instructions > 0, model
+
+    def test_dmdp_never_cloaks_partial_word(self):
+        """Paper Section IV-D: partial-word loads are forced to predication
+        in DMDP."""
+        b = ProgramBuilder()
+        b.data_label("buf")
+        b.word(0)
+        b.label("main")
+        b.la("$s0", "buf")
+        b.li("$t0", 0)
+        b.li("$t9", 300)
+        b.label("loop")
+        b.sh("$t0", 0, "$s0")
+        b.lhu("$t2", 0, "$s0")
+        b.addi("$t0", "$t0", 1)
+        b.blt("$t0", "$t9", "loop")
+        b.halt()
+        stats, _ = run(b.build(), ModelKind.DMDP)
+        assert stats.load_kind.get(LoadKind.BYPASS, 0) == 0
+        assert stats.load_kind.get(LoadKind.PREDICATED, 0) > 0
+
+
+class TestSquashInternals:
+    def test_squash_restores_rename_map_to_committed(self):
+        """After a violation squash the speculative map equals the
+        committed map and all dead MicroOps are marked."""
+        prog = oc_kernel(600, slots=8)
+        trace = FunctionalCpu(prog).run_trace()
+        sim = Simulator(prog, trace, model_params(ModelKind.DMDP))
+        squashes = []
+        original = sim._squash_younger
+
+        def spy(load):
+            original(load)
+            squashes.append((list(sim.rename_map), list(sim.committed_map),
+                             len(sim.rob), sim.fetch_index))
+        sim._squash_younger = spy
+        sim.run()
+        assert squashes, "kernel must produce at least one violation"
+        for rename_map, committed_map, rob_len, fetch_index in squashes:
+            assert rename_map == committed_map
+            assert rob_len == 0
+            assert 0 < fetch_index <= len(trace)
+
+    def test_ssn_rewinds_to_retired_on_squash(self):
+        prog = oc_kernel(600, slots=8)
+        trace = FunctionalCpu(prog).run_trace()
+        sim = Simulator(prog, trace, model_params(ModelKind.DMDP))
+        original = sim._squash_younger
+        checks = []
+
+        def spy(load):
+            original(load)
+            checks.append(sim.ssn.rename == sim.ssn.retire)
+        sim._squash_younger = spy
+        sim.run()
+        assert checks and all(checks)
+
+    def test_store_register_buffer_drops_squashed_entries(self):
+        prog = oc_kernel(600, slots=8)
+        trace = FunctionalCpu(prog).run_trace()
+        sim = Simulator(prog, trace, model_params(ModelKind.NOSQ))
+        original = sim._squash_younger
+        results = []
+
+        def spy(load):
+            original(load)
+            results.append(all(ssn <= sim.ssn.retire
+                               for ssn in sim.srb._entries))
+        sim._squash_younger = spy
+        sim.run()
+        assert results and all(results)

@@ -1,0 +1,152 @@
+"""Unit tests for the TSO/RMO store buffer."""
+
+from repro.uarch import CacheParams, Consistency, MemoryHierarchy, StoreBuffer
+from repro.uarch.stats import SimStats
+
+
+def hierarchy():
+    return MemoryHierarchy(
+        CacheParams(size_bytes=4096, assoc=4, line_bytes=64, hit_latency=4),
+        CacheParams(size_bytes=65536, assoc=8, line_bytes=64, hit_latency=12),
+        dram_latency=100, dram_banks=4, stats=SimStats())
+
+
+class TestCapacity:
+    def test_fills_and_rejects(self):
+        sb = StoreBuffer(capacity=2, consistency=Consistency.TSO,
+                         coalescing=False)
+        assert sb.push(1, 0x100, 0)
+        assert sb.push(2, 0x200, 1)
+        assert not sb.push(3, 0x300, 2)
+        assert len(sb) == 2
+
+    def test_can_accept_tracks_capacity(self):
+        sb = StoreBuffer(capacity=1, consistency=Consistency.TSO,
+                         coalescing=False)
+        assert sb.can_accept(0x100)
+        sb.push(1, 0x100, 0)
+        assert not sb.can_accept(0x200)
+
+
+class TestCoalescing:
+    def test_consecutive_same_word_merges(self):
+        """Paper Section V: under TSO only consecutive stores coalesce."""
+        sb = StoreBuffer(capacity=2, consistency=Consistency.TSO,
+                         coalescing=True)
+        sb.push(1, 0x100, 0)
+        sb.push(2, 0x100, 1)
+        assert len(sb) == 1
+        assert sb.coalesced_stores == 1
+        assert sb.entries[0].ssn == 2
+        assert sb.entries[0].trace_indices == [0, 1]
+
+    def test_non_consecutive_does_not_merge(self):
+        sb = StoreBuffer(capacity=4, consistency=Consistency.TSO,
+                         coalescing=True)
+        sb.push(1, 0x100, 0)
+        sb.push(2, 0x200, 1)
+        sb.push(3, 0x100, 2)    # same word as the first, but not the tail
+        assert len(sb) == 3
+
+    def test_coalescing_into_full_buffer_still_accepted(self):
+        sb = StoreBuffer(capacity=1, consistency=Consistency.TSO,
+                         coalescing=True)
+        sb.push(1, 0x100, 0)
+        assert sb.can_accept(0x100)     # merges with the tail
+        assert sb.push(2, 0x100, 1)
+        assert not sb.can_accept(0x200)
+
+    def test_no_merge_after_write_started(self):
+        sb = StoreBuffer(capacity=4, consistency=Consistency.TSO,
+                         coalescing=True)
+        sb.push(1, 0x100, 0)
+        sb.tick(0, hierarchy())         # head write begins
+        sb.push(2, 0x100, 1)
+        assert len(sb) == 2
+
+
+class TestTsoDrain:
+    def test_in_order_commit(self):
+        sb = StoreBuffer(capacity=8, consistency=Consistency.TSO,
+                         coalescing=False)
+        hier = hierarchy()
+        # Warm the cache so both stores are L1 hits.
+        hier.access(0x100, 0)
+        hier.access(0x200, 0)
+        sb.push(1, 0x100, 0)
+        sb.push(2, 0x200, 1)
+        done_order = []
+        for cycle in range(1000):
+            for entry in sb.tick(cycle, hier):
+                done_order.append((entry.ssn, cycle))
+            if sb.is_empty:
+                break
+        # TSO: commits become visible strictly in program order (their
+        # cache accesses may overlap -- store miss-level parallelism).
+        assert [ssn for ssn, _ in done_order] == [1, 2]
+        assert done_order[1][1] >= done_order[0][1]
+
+    def test_miss_blocks_younger_hit(self):
+        sb = StoreBuffer(capacity=8, consistency=Consistency.TSO,
+                         coalescing=False)
+        hier = hierarchy()
+        hier.access(0x200, 0)            # second store would hit
+        sb.push(1, 0x9000, 0)            # cold miss: slow
+        sb.push(2, 0x200, 1)
+        completions = {}
+        for cycle in range(500):
+            for entry in sb.tick(cycle, hier):
+                completions[entry.ssn] = cycle
+            if sb.is_empty:
+                break
+        assert completions[1] > 100      # DRAM
+        # The hit's cache access finished long before, but TSO holds its
+        # visibility until the missing head commits.
+        assert completions[2] >= completions[1]
+
+
+class TestRmoDrain:
+    def test_out_of_order_completion(self):
+        """RMO lets a hit bypass an older miss (paper Section VI-g)."""
+        sb = StoreBuffer(capacity=8, consistency=Consistency.RMO,
+                         coalescing=False, rmo_parallelism=4)
+        hier = hierarchy()
+        hier.access(0x200, 0)
+        sb.push(1, 0x9000, 0)            # miss
+        sb.push(2, 0x200, 1)             # hit
+        completions = {}
+        for cycle in range(500):
+            for entry in sb.tick(cycle, hier):
+                completions[entry.ssn] = cycle
+            if sb.is_empty:
+                break
+        assert completions[2] < completions[1]
+
+    def test_rmo_frees_slots_sooner(self):
+        """With a missing head and hitting tail, RMO frees buffer slots
+        long before TSO can (less retire back-pressure)."""
+        def cycles_until_half_empty(consistency):
+            sb = StoreBuffer(capacity=16, consistency=consistency,
+                             coalescing=False, rmo_parallelism=8)
+            hier = hierarchy()
+            for addr in (0x200, 0x240, 0x280, 0x2C0):
+                hier.access(addr, 0)     # warm: these will be hits
+            sb.push(1, 0x9000, 0)        # head: cold miss
+            for i, addr in enumerate((0x200, 0x240, 0x280, 0x2C0)):
+                sb.push(i + 2, addr, i + 1)
+            for cycle in range(5000):
+                sb.tick(cycle, hier)
+                if len(sb) <= 2:
+                    return cycle
+            raise AssertionError("did not drain")
+        assert cycles_until_half_empty(Consistency.RMO) < \
+            cycles_until_half_empty(Consistency.TSO)
+
+
+class TestStats:
+    def test_peak_occupancy(self):
+        sb = StoreBuffer(capacity=8, consistency=Consistency.TSO,
+                         coalescing=False)
+        for i in range(5):
+            sb.push(i + 1, 0x100 + 4 * i, i)
+        assert sb.peak_occupancy == 5

@@ -1,0 +1,79 @@
+"""Unit tests for the baseline's Store Sets predictor."""
+
+from repro.uarch import StoreSets
+
+LOAD_PC = 0x0040_0100
+STORE_PC = 0x0040_0200
+
+
+class TestColdBehaviour:
+    def test_unknown_load_has_no_dependence(self):
+        ss = StoreSets()
+        assert ss.load_rename(LOAD_PC) is None
+
+    def test_unknown_store_registers_nothing(self):
+        ss = StoreSets()
+        assert ss.store_rename(STORE_PC, tag=1) is None
+        assert ss.load_rename(LOAD_PC) is None
+
+
+class TestViolationTraining:
+    def test_violation_creates_common_set(self):
+        ss = StoreSets()
+        ss.on_violation(LOAD_PC, STORE_PC)
+        ss.store_rename(STORE_PC, tag=42)
+        assert ss.load_rename(LOAD_PC) == 42
+
+    def test_lfst_tracks_most_recent_store(self):
+        ss = StoreSets()
+        ss.on_violation(LOAD_PC, STORE_PC)
+        ss.store_rename(STORE_PC, tag=1)
+        ss.store_rename(STORE_PC, tag=2)
+        assert ss.load_rename(LOAD_PC) == 2
+
+    def test_store_store_ordering_chain(self):
+        ss = StoreSets()
+        ss.on_violation(LOAD_PC, STORE_PC)
+        assert ss.store_rename(STORE_PC, tag=1) is None
+        assert ss.store_rename(STORE_PC, tag=2) == 1  # must order after 1
+
+    def test_store_complete_clears_lfst(self):
+        ss = StoreSets()
+        ss.on_violation(LOAD_PC, STORE_PC)
+        ss.store_rename(STORE_PC, tag=5)
+        ss.store_complete(STORE_PC, tag=5)
+        assert ss.load_rename(LOAD_PC) is None
+
+    def test_store_complete_ignores_stale_tag(self):
+        ss = StoreSets()
+        ss.on_violation(LOAD_PC, STORE_PC)
+        ss.store_rename(STORE_PC, tag=5)
+        ss.store_rename(STORE_PC, tag=6)
+        ss.store_complete(STORE_PC, tag=5)   # older store: no effect
+        assert ss.load_rename(LOAD_PC) == 6
+
+
+class TestMergeRules:
+    def test_store_joins_existing_load_set(self):
+        ss = StoreSets()
+        ss.on_violation(LOAD_PC, STORE_PC)
+        other_store = STORE_PC + 0x40
+        ss.on_violation(LOAD_PC, other_store)
+        ss.store_rename(other_store, tag=9)
+        assert ss.load_rename(LOAD_PC) == 9
+
+    def test_load_joins_existing_store_set(self):
+        ss = StoreSets()
+        ss.on_violation(LOAD_PC, STORE_PC)
+        other_load = LOAD_PC + 0x40
+        ss.on_violation(other_load, STORE_PC)
+        ss.store_rename(STORE_PC, tag=3)
+        assert ss.load_rename(other_load) == 3
+
+    def test_two_sets_merge_to_smaller_id(self):
+        ss = StoreSets()
+        ss.on_violation(LOAD_PC, STORE_PC)              # set 0
+        ss.on_violation(LOAD_PC + 4, STORE_PC + 4)      # set 1
+        ss.on_violation(LOAD_PC, STORE_PC + 4)          # merge
+        ss.store_rename(STORE_PC + 4, tag=7)
+        assert ss.load_rename(LOAD_PC) == 7

@@ -1,0 +1,34 @@
+"""Unit tests for the TLB timing model."""
+
+from repro.uarch import Tlb
+
+
+class TestTlb:
+    def test_identity_translation(self):
+        tlb = Tlb()
+        assert tlb.translate(0x12345678) == 0x12345678
+
+    def test_first_access_misses(self):
+        tlb = Tlb(miss_penalty=20)
+        assert tlb.access_penalty(0x1000) == 20
+        assert tlb.misses == 1
+
+    def test_same_page_hits(self):
+        tlb = Tlb(miss_penalty=20)
+        tlb.access_penalty(0x1000)
+        assert tlb.access_penalty(0x1FFC) == 0   # same 4 KiB page
+        assert tlb.hits == 1
+
+    def test_different_page_misses(self):
+        tlb = Tlb(miss_penalty=20)
+        tlb.access_penalty(0x1000)
+        assert tlb.access_penalty(0x2000) == 20
+
+    def test_lru_eviction(self):
+        tlb = Tlb(entries=2, miss_penalty=20)
+        tlb.access_penalty(0x1000)
+        tlb.access_penalty(0x2000)
+        tlb.access_penalty(0x1000)    # promote page 1
+        tlb.access_penalty(0x3000)    # evicts page 2
+        assert tlb.access_penalty(0x1000) == 0
+        assert tlb.access_penalty(0x2000) == 20

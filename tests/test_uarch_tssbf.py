@@ -1,0 +1,138 @@
+"""Unit + property tests for the Tagged Store Sequence Bloom Filter."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.uarch import Tssbf
+
+
+def make():
+    return Tssbf(entries=128, assoc=4)
+
+
+class TestBasicLookup:
+    def test_empty_set_means_no_store(self):
+        filt = make()
+        result = filt.load_lookup(0x1000, 0xF)
+        assert result.ssn == 0 and not result.matched
+
+    def test_match_returns_store(self):
+        filt = make()
+        filt.store_retire(0x1000, ssn=5, bab=0xF)
+        result = filt.load_lookup(0x1000, 0xF)
+        assert result.matched and result.ssn == 5 and result.store_bab == 0xF
+
+    def test_youngest_match_wins(self):
+        filt = make()
+        filt.store_retire(0x1000, ssn=5, bab=0xF)
+        filt.store_retire(0x1000, ssn=9, bab=0xF)
+        assert filt.load_lookup(0x1000, 0xF).ssn == 9
+
+    def test_bab_must_overlap(self):
+        """Partial-word detection (paper Section IV-D): a store to the low
+        half does not collide with a load of the high half."""
+        filt = make()
+        filt.store_retire(0x1000, ssn=5, bab=0b0011)
+        result = filt.load_lookup(0x1000, 0b1100)
+        assert not result.matched
+        assert filt.load_lookup(0x1000, 0b0010).matched
+
+    def test_different_word_does_not_match(self):
+        filt = make()
+        filt.store_retire(0x1000, ssn=5, bab=0xF)
+        # 0x1000 and 0x1000+4*num_sets map to the same set, different tag.
+        other = 0x1000 + 4 * filt.num_sets
+        result = filt.load_lookup(other, 0xF)
+        assert not result.matched
+
+
+class TestConservativeFallback:
+    def test_underfilled_set_returns_zero(self):
+        """A set that never overflowed has seen every store that mapped to
+        it, so an unmatched lookup soundly reports SSN 0."""
+        filt = make()
+        stride = 4 * filt.num_sets
+        filt.store_retire(0x1000, ssn=50, bab=0xF)
+        result = filt.load_lookup(0x1000 + stride, 0xF)
+        assert not result.matched and result.ssn == 0
+
+    def test_full_set_returns_min(self):
+        filt = make()
+        stride = 4 * filt.num_sets
+        for i in range(4):
+            filt.store_retire(0x1000 + i * stride, ssn=10 + i, bab=0xF)
+        result = filt.load_lookup(0x1000 + 10 * stride, 0xF)
+        assert not result.matched and result.ssn == 10
+
+    def test_fifo_eviction(self):
+        filt = make()
+        stride = 4 * filt.num_sets
+        for i in range(5):  # 5 distinct tags into a 4-way set
+            filt.store_retire(0x1000 + i * stride, ssn=10 + i, bab=0xF)
+        # The oldest (ssn 10) was evicted.
+        result = filt.load_lookup(0x1000, 0xF)
+        assert not result.matched
+        assert result.ssn == 11  # new min
+
+
+class TestInvalidation:
+    def test_invalidate_line_marks_all_words(self):
+        """Paper Section IV-F: every word of the invalidated line is marked
+        with SSN_commit + 1 so vulnerable in-flight loads re-execute."""
+        filt = make()
+        filt.invalidate_line(0x2000, line_bytes=64, ssn_commit=7)
+        for offset in range(0, 64, 4):
+            result = filt.load_lookup(0x2000 + offset, 0xF)
+            assert result.matched
+            assert result.ssn == 8
+
+    def test_occupancy(self):
+        filt = make()
+        assert filt.occupancy() == 0
+        filt.store_retire(0x0, 1, 0xF)
+        filt.store_retire(0x4, 2, 0xF)
+        assert filt.occupancy() == 2
+
+
+class TestGeometry:
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            Tssbf(entries=100, assoc=3)
+        with pytest.raises(ValueError):
+            Tssbf(entries=96, assoc=4)  # 24 sets: not a power of two
+
+
+class TestProperties:
+    @given(st.lists(st.tuples(st.integers(0, 255), st.integers(1, 1000)),
+                    min_size=1, max_size=60))
+    @settings(max_examples=100)
+    def test_matched_lookup_never_misses_youngest(self, stores):
+        """For any store sequence, looking up an address that was among the
+        last `assoc` stores of its set always finds an SSN >= that store's."""
+        filt = make()
+        ssn = 0
+        by_word = {}
+        history = []
+        for word_index, _ in stores:
+            ssn += 1
+            addr = word_index * 4
+            filt.store_retire(addr, ssn, 0xF)
+            by_word[addr] = ssn
+            history.append(addr)
+        # The most recently stored word must always be found.
+        last = history[-1]
+        result = filt.load_lookup(last, 0xF)
+        assert result.matched
+        assert result.ssn == by_word[last]
+
+    @given(st.lists(st.integers(0, 63), min_size=1, max_size=100))
+    def test_lookup_is_conservative(self, words):
+        """The returned SSN never exceeds the youngest store of the set
+        (no phantom future stores)."""
+        filt = make()
+        for ssn, word in enumerate(words, start=1):
+            filt.store_retire(word * 4, ssn, 0xF)
+        for word in set(words):
+            result = filt.load_lookup(word * 4, 0xF)
+            assert result.ssn <= len(words)

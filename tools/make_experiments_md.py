@@ -1,0 +1,168 @@
+"""Assemble EXPERIMENTS.md from saved benchmark reports.
+
+Usage::
+
+    pytest benchmarks/ --benchmark-only      # writes benchmarks/results/*.txt
+    python tools/make_experiments_md.py      # assembles EXPERIMENTS.md
+
+Each section pairs the paper's claim for one figure/table with the measured
+report produced by the corresponding benchmark.  Absolute numbers are not
+expected to match (different substrate, synthetic workloads — DESIGN.md §4);
+the tracked property is the *shape*: who wins, in which direction each
+mechanism moves each metric.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+RESULTS = ROOT / "benchmarks" / "results"
+OUTPUT = ROOT / "EXPERIMENTS.md"
+
+# (exp_id, title, paper claim, what must reproduce)
+SECTIONS = [
+    ("fig02", "Figure 2 — NoSQ load distribution",
+     "Loads split into direct / bypassing / delayed; bzip2, gcc, mcf, "
+     "hmmer, h264ref and astar exceed 10% delayed loads.",
+     "OC-heavy kernels show a substantial delayed population; streaming "
+     "kernels are ~100% direct; AC kernels show heavy bypassing."),
+    ("fig03", "Figure 3 — delayed vs bypassing load execution time",
+     "Delayed loads take ~7x longer than bypassing loads overall; mcf is "
+     "the exception (its colliding stores depend on missed loads).",
+     "The delayed/bypassing ratio is well above 1 wherever both "
+     "populations exist."),
+    ("fig05", "Figure 5 — low-confidence prediction outcomes",
+     "IndepStore dominates every benchmark; treating low-confidence loads "
+     "as independent would mispredict 11.4%; DMDP cuts that to 3.7%.",
+     "IndepStore is the largest class and the DMDP-covered rate is far "
+     "below the naive rate."),
+    ("fig12", "Figure 12 — IPC normalised to the baseline",
+     "Geomean IPC: NoSQ 0.975/1.008, DMDP 1.045/1.053, Perfect "
+     "1.068/1.066 (INT/FP). DMDP beats NoSQ by +7.17% INT / +4.48% FP "
+     "and lands within ~2% of Perfect.",
+     "DMDP > NoSQ on both suite geomeans; Perfect bounds DMDP; the "
+     "per-benchmark outliers (hmmer's NoSQ dip, wrf's DMDP jump) appear."),
+    ("table4", "Table IV — average load execution time",
+     "DMDP shortens load execution time in every benchmark; averages "
+     "39.31 -> 31.15 cycles (>20% saving).",
+     "The measured DMDP average is clearly below the baseline average."),
+    ("table5", "Table V — low-confidence load execution time",
+     "Predication executes low-confidence loads on average 54.48% faster "
+     "than NoSQ's delaying (up to 79.25%); lib is unrepresentative.",
+     "A large average saving with workloads lacking low-confidence loads "
+     "reported as n/a."),
+    ("table6", "Table VI — memory dependence MPKI",
+     "DMDP usually has fewer recoveries (hmmer 3.06 -> 1.03 MPKI) except "
+     "where the colliding distance keeps changing (bzip2: DMDP ~2x NoSQ).",
+     "hmmer's MPKI drops sharply under DMDP; bzip2-like kernels show the "
+     "inversion."),
+    ("table7", "Table VII — re-execution retire stalls",
+     "DMDP stalls retire more than NoSQ in every benchmark (its early "
+     "loads widen the vulnerability window); lbm is worst.",
+     "DMDP's stalls/k >= NoSQ's on virtually every workload."),
+    ("fig14", "Figure 14 — store buffer size sweep (DMDP)",
+     "32-entry SB beats 16-entry by +2.07% INT / +3.81% FP; 64-entry by "
+     "+2.77% / +5.01%; SB-full stalls drop 503 -> 220 -> 75 per 1k; lbm "
+     "gains most.",
+     "Monotonic decline of SB-full stalls with size and a positive "
+     "geomean speedup for the larger buffers, led by lbm."),
+    ("fig15", "Figure 15 — energy-delay product (DMDP vs NoSQ)",
+     "DMDP consumes slightly more energy (extra CMP/CMOV MicroOps) but "
+     "cuts delay everywhere, saving 8.5% INT / 5.1% FP EDP.",
+     "energy ratio near or slightly above 1, delay ratio below 1, EDP "
+     "geomean saving positive."),
+    ("ablation_issue_width", "Section VI-g — 4-issue width",
+     "At 4-issue the DMDP-over-NoSQ gain shrinks to +4.56% INT / +2.41% "
+     "FP and the low-confidence population drops 23.4%.",
+     "The narrow-core gain is smaller than the wide-core gain and the "
+     "low-confidence load count drops."),
+    ("ablation_rob", "Section VI-g — 512-entry ROB",
+     "A 512-entry ROB raises the gain to +7.56% INT / +6.35% FP.",
+     "The 512-ROB gain is at least as large as the 256-ROB gain."),
+    ("ablation_rmo", "Section VI-g — RMO consistency",
+     "Under RMO (out-of-order commit, forwarding prohibited after commit) "
+     "DMDP still beats NoSQ by +7.67% INT / +4.08% FP.",
+     "A positive DMDP-over-NoSQ gain persists under RMO."),
+    ("ablation_regfile", "Section VI-f — register file pressure",
+     "Halving the physical register file (320 -> 160) trims DMDP's gain "
+     "over the baseline from +4.94% to +4.24%.",
+     "Known deviation (DESIGN.md §7): on these tight kernels DMDP's "
+     "shorter dependence chains need *less* window than the baseline, so "
+     "its relative gain grows rather than shrinks at 160 registers. Both "
+     "underlying mechanisms (LSQ-held baseline addresses vs dedicated, "
+     "commit-extended address registers) are modelled."),
+    ("ablation_confidence", "Section IV-E — confidence update policy",
+     "The biased (divide-by-two) update yields fewer mispredictions at "
+     "the cost of more predications than the balanced (minus-one) update.",
+     "Biased MPKI <= balanced MPKI overall, with more predicated loads."),
+    ("ablation_silent_store", "Section IV-C.a — silent-store-aware updates",
+     "Training the predictor on every re-execution (not only exceptions) "
+     "slashes repeated silent-store re-executions but can increase "
+     "mispredictions (hmmer).",
+     "The aware policy shows far fewer re-executions; MPKI may rise on "
+     "silent-store-heavy kernels."),
+    ("ext_tage", "Extension — TAGE-structured store distance predictor",
+     "Section VII suggests Perais & Seznec's TAGE-like distance predictor "
+     "'could also be tuned as a Store Distance Predictor and adopted to "
+     "DMDP' (no numbers given).",
+     "DMDP runs correctly with the TAGE predictor; IPC lands near the "
+     "two-table design on this suite (the geometric histories only pay "
+     "off for longer path-correlated patterns)."),
+    ("ext_untagged_ssbf", "Ablation — tagged vs untagged SSBF",
+     "The NoSQ lineage added tags to the SVW bloom filter specifically to "
+     "cut false re-executions (no numbers in this paper).",
+     "The untagged filter triggers clearly more re-executions on "
+     "dependence-rich workloads."),
+]
+
+HEADER = """# EXPERIMENTS — paper vs. measured
+
+Generated by ``tools/make_experiments_md.py`` from the reports written by
+``pytest benchmarks/ --benchmark-only`` (see ``benchmarks/results/``).
+
+The reproduction runs a cycle-level simulator over synthetic SPEC 2006
+stand-ins (DESIGN.md §4), so **absolute** IPCs/energies differ from the
+paper's testbed by construction. Every section below states the paper's
+claim, the property expected to reproduce, and the measured report.
+Workload scale for this run: ``REPRO_BENCH_SCALE={scale}``.
+"""
+
+
+def generate(results_dir: Path, output_path: Path) -> int:
+    """Assemble the report; returns the number of missing sections."""
+    scale = os.environ.get("REPRO_BENCH_SCALE", "0.6")
+    parts = [HEADER.format(scale=scale)]
+    missing = []
+    for exp_id, title, claim, expectation in SECTIONS:
+        parts.append("\n## %s\n" % title)
+        parts.append("**Paper:** %s\n" % claim)
+        parts.append("**Expected to reproduce:** %s\n" % expectation)
+        report = results_dir / ("%s.txt" % exp_id)
+        if report.exists():
+            parts.append("**Measured:**\n")
+            parts.append("```")
+            parts.append(report.read_text().rstrip())
+            parts.append("```")
+        else:
+            missing.append(exp_id)
+            parts.append("*(report missing — benchmark not yet run)*")
+    output_path.write_text("\n".join(parts) + "\n")
+    return len(missing)
+
+
+def main() -> int:
+    if not RESULTS.is_dir() or not any(RESULTS.glob("*.txt")):
+        print("no reports found; run: pytest benchmarks/ --benchmark-only",
+              file=sys.stderr)
+        return 1
+    missing = generate(RESULTS, OUTPUT)
+    print("wrote %s (%d sections, %d missing reports)"
+          % (OUTPUT, len(SECTIONS), missing))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
