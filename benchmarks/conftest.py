@@ -3,11 +3,24 @@
 All benchmark files share one :class:`ExperimentRunner`, so a full
 ``pytest benchmarks/ --benchmark-only`` session simulates each
 (workload, model, parameters) point exactly once regardless of how many
-experiments consume it.
+experiments consume it.  The runner persists results in the on-disk
+cache, so a *second* session simulates nothing at all, and fans point
+batches out over worker processes when jobs > 1.
 
-``REPRO_BENCH_SCALE`` scales every workload's iteration count
-(default 0.6; use 1.0 for full-size runs).  Rendered reports are printed
-and written to ``benchmarks/results/<exp_id>.txt``.
+Configuration (pytest options work when invoking ``pytest benchmarks/``
+directly; the environment variables always work):
+
+=======================  ======================  ==========================
+pytest option            environment variable    meaning
+=======================  ======================  ==========================
+``--jobs N``             ``REPRO_BENCH_JOBS``    worker processes (def. 1)
+``--no-cache``           ``REPRO_NO_CACHE=1``    disable the result cache
+(n/a)                    ``REPRO_BENCH_SCALE``   workload scale (def. 0.6)
+(n/a)                    ``REPRO_CACHE_DIR``     cache dir (def.
+                                                 ``.repro-cache``)
+=======================  ======================  ==========================
+
+Rendered reports are printed and written to ``benchmarks/results/``.
 """
 
 import os
@@ -15,17 +28,45 @@ from pathlib import Path
 
 import pytest
 
+from repro.harness.reporting import format_run_report
 from repro.harness.runner import ExperimentRunner
 
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.6"))
 RESULTS_DIR = Path(__file__).parent / "results"
 
-_RUNNER = ExperimentRunner(scale=BENCH_SCALE)
+_RUNNER = None
+
+
+def pytest_addoption(parser):
+    # Only honoured when benchmarks/ is on the initial command line
+    # (pytest loads this conftest early in that case); the environment
+    # variables above cover every other invocation.
+    parser.addoption("--jobs", type=int, default=None,
+                     help="simulation worker processes for the "
+                          "benchmark runner")
+    parser.addoption("--no-cache", action="store_true", default=False,
+                     help="disable the persistent simulation result cache")
+
+
+def _option(config, name, default):
+    try:
+        value = config.getoption(name)
+    except ValueError:
+        return default
+    return default if value is None else value
 
 
 @pytest.fixture(scope="session")
-def bench_runner():
-    """The process-wide memoising experiment runner."""
+def bench_runner(request):
+    """The process-wide memoising (and disk-cached) experiment runner."""
+    global _RUNNER
+    if _RUNNER is None:
+        jobs = int(_option(request.config, "--jobs", None)
+                   or os.environ.get("REPRO_BENCH_JOBS") or 1)
+        no_cache = (os.environ.get("REPRO_NO_CACHE", "") == "1"
+                    or bool(_option(request.config, "--no-cache", False)))
+        _RUNNER = ExperimentRunner(scale=BENCH_SCALE, jobs=jobs,
+                                   use_cache=not no_cache)
     return _RUNNER
 
 
@@ -42,3 +83,10 @@ def bench_report():
         return result
 
     return _report
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if _RUNNER is not None and _RUNNER.point_log:
+        print()
+        print("simulation session summary")
+        print(format_run_report(_RUNNER.point_log, _RUNNER.batch_log))

@@ -13,6 +13,12 @@ Commands
     Run a model across the whole workload suite.
 ``experiment EXP_ID``
     Reproduce one paper figure/table (see ``list`` for ids).
+``cache``
+    Inspect or clear the persistent result cache.
+
+Global flags: ``--jobs N`` fans simulation points out over N worker
+processes; ``--no-cache`` disables the persistent result cache (location:
+``$REPRO_CACHE_DIR``, default ``.repro-cache``).
 """
 
 from __future__ import annotations
@@ -21,9 +27,9 @@ import argparse
 import sys
 from typing import List, Optional
 
-from .harness import ExperimentRunner
+from .harness import ExperimentRunner, ResultCache, SimPoint
 from .harness.experiments import ALL_EXPERIMENTS
-from .harness.reporting import format_table
+from .harness.reporting import format_run_report, format_table
 from .uarch import ALL_MODELS, Consistency, ModelKind
 from .workloads import ALL_NAMES, WORKLOADS
 
@@ -62,6 +68,12 @@ def build_parser() -> argparse.ArgumentParser:
                     "reproduction")
     parser.add_argument("--scale", type=float, default=None,
                         help="workload scale factor (default: per-workload)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="simulate points on N worker processes "
+                             "(default: 1, serial)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the persistent result cache "
+                             "($REPRO_CACHE_DIR, default .repro-cache)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list workloads and experiments")
@@ -84,6 +96,13 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("exp_id", choices=sorted(ALL_EXPERIMENTS))
     experiment.add_argument("--workloads", default=None,
                             help="comma-separated subset")
+    experiment.add_argument("--timing", action="store_true",
+                            help="append the per-session timing summary")
+
+    cache = sub.add_parser("cache",
+                           help="inspect or clear the persistent "
+                                "result cache")
+    cache.add_argument("action", choices=("info", "clear"))
     return parser
 
 
@@ -101,6 +120,11 @@ def _add_config_flags(parser) -> None:
                         help="TAGE-structured distance predictor")
 
 
+def _runner(args) -> ExperimentRunner:
+    return ExperimentRunner(scale=args.scale, jobs=args.jobs,
+                            use_cache=not args.no_cache)
+
+
 def cmd_list(args, out) -> int:
     rows = [[spec.name, spec.suite, spec.description]
             for spec in WORKLOADS.values()]
@@ -115,7 +139,8 @@ def cmd_list(args, out) -> int:
 
 
 def cmd_compare(args, out) -> int:
-    runner = ExperimentRunner(scale=args.scale)
+    runner = _runner(args)
+    runner.run_batch(SimPoint(args.workload, model) for model in ALL_MODELS)
     rows = []
     base_ipc = None
     for model in ALL_MODELS:
@@ -133,7 +158,7 @@ def cmd_compare(args, out) -> int:
 
 
 def cmd_run(args, out) -> int:
-    runner = ExperimentRunner(scale=args.scale)
+    runner = _runner(args)
     result = runner.run(args.workload, args.model, **_overrides(args))
     stats = result.stats
     print("workload     %s" % args.workload, file=out)
@@ -150,7 +175,8 @@ def cmd_run(args, out) -> int:
 
 
 def cmd_suite(args, out) -> int:
-    runner = ExperimentRunner(scale=args.scale)
+    runner = _runner(args)
+    runner.run_suite(args.model, **_overrides(args))
     rows = []
     for name in ALL_NAMES:
         stats = runner.run(name, args.model, **_overrides(args)).stats
@@ -164,10 +190,29 @@ def cmd_suite(args, out) -> int:
 
 
 def cmd_experiment(args, out) -> int:
-    runner = ExperimentRunner(scale=args.scale)
+    runner = _runner(args)
     workloads = args.workloads.split(",") if args.workloads else None
     result = ALL_EXPERIMENTS[args.exp_id](runner, workloads=workloads)
     print(result.render(), file=out)
+    if args.timing:
+        print(file=out)
+        print(format_run_report(runner.point_log, runner.batch_log),
+              file=out)
+    return 0
+
+
+def cmd_cache(args, out) -> int:
+    cache = ResultCache()
+    if args.action == "clear":
+        removed = cache.clear()
+        print("removed %d cached result(s) from %s" % (removed, cache.root),
+              file=out)
+        return 0
+    print("cache dir      %s" % cache.root, file=out)
+    print("entries        %d" % cache.entry_count(), file=out)
+    print("size           %.1f KiB" % (cache.size_bytes() / 1024.0),
+          file=out)
+    print("code version   %s" % cache.version, file=out)
     return 0
 
 
@@ -177,6 +222,7 @@ COMMANDS = {
     "run": cmd_run,
     "suite": cmd_suite,
     "experiment": cmd_experiment,
+    "cache": cmd_cache,
 }
 
 

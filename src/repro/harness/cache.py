@@ -1,0 +1,184 @@
+"""Persistent on-disk cache for simulation results.
+
+Every (workload, iteration count, model, parameter overrides, code version)
+point maps to a content-hash key; the :class:`SimResult` for that point is
+pickled under ``<cache_dir>/<key[:2]>/<key>.pkl``.  A warm run therefore
+skips tracing *and* simulation entirely, which is what makes repeated
+pytest/benchmark sessions cheap (see DESIGN.md Section 8).
+
+The code version folded into every key is a hash over the simulator's own
+source tree (isa, kernel, uarch, workloads, energy), so editing anything
+that could change simulation results silently invalidates old entries --
+no manual cache management needed.  Harness/CLI files are deliberately
+excluded: they orchestrate runs but cannot change a point's outcome.
+
+Cache location: ``$REPRO_CACHE_DIR`` if set, else ``.repro-cache`` under
+the current working directory.  Writes are atomic (tempfile + rename), so
+concurrent pytest sessions can safely share one cache.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+# Bump when the pickled payload layout changes incompatibly.
+FORMAT_VERSION = 1
+
+# Source packages whose content determines simulation results.
+_VERSIONED_PACKAGES = ("isa", "kernel", "uarch", "workloads", "energy")
+
+_CODE_VERSION: Optional[str] = None
+
+
+def code_version() -> str:
+    """Hash of every source file that can affect a simulation result."""
+    global _CODE_VERSION
+    if _CODE_VERSION is None:
+        digest = hashlib.sha256()
+        package_root = Path(__file__).resolve().parent.parent
+        for package in _VERSIONED_PACKAGES:
+            for path in sorted((package_root / package).glob("*.py")):
+                digest.update(path.name.encode())
+                digest.update(path.read_bytes())
+        _CODE_VERSION = digest.hexdigest()[:16]
+    return _CODE_VERSION
+
+
+def canonical(value):
+    """JSON-serialisable canonical form of a parameter override value.
+
+    Handles the value types experiments actually pass: enums, (frozen)
+    dataclasses such as :class:`PredictorParams`, containers, and scalars.
+    """
+    if isinstance(value, enum.Enum):
+        return [type(value).__name__, value.value]
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return [type(value).__name__,
+                {f.name: canonical(getattr(value, f.name))
+                 for f in dataclasses.fields(value)}]
+    if isinstance(value, dict):
+        return {str(k): canonical(v) for k, v in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [canonical(v) for v in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise TypeError("cannot canonicalise override of type %s"
+                    % type(value).__name__)
+
+
+def default_cache_dir() -> Path:
+    return Path(os.environ.get("REPRO_CACHE_DIR", ".repro-cache"))
+
+
+class ResultCache:
+    """Content-addressed pickle store for :class:`SimResult` objects."""
+
+    def __init__(self, root: Optional[Path] = None,
+                 version: Optional[str] = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.version = version if version is not None else code_version()
+        self.hits = 0
+        self.misses = 0
+
+    # -- keys --------------------------------------------------------------
+
+    def key_for(self, workload: str, iterations: int, model,
+                overrides: dict) -> str:
+        material = json.dumps({
+            "format": FORMAT_VERSION,
+            "code": self.version,
+            "workload": workload,
+            "iterations": iterations,
+            "model": canonical(model),
+            "overrides": canonical(overrides),
+        }, sort_keys=True)
+        return hashlib.sha256(material.encode()).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / (key + ".pkl")
+
+    # -- storage ------------------------------------------------------------
+
+    def get(self, key: str):
+        path = self._path(key)
+        try:
+            with open(path, "rb") as handle:
+                result = pickle.load(handle)
+        except (OSError, pickle.PickleError, EOFError, AttributeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result) -> None:
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Atomic publish: concurrent sessions never observe partial files.
+        fd, tmp_name = tempfile.mkstemp(dir=str(path.parent),
+                                        suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    # -- maintenance ----------------------------------------------------------
+
+    def entries(self):
+        return sorted(self.root.glob("??/*.pkl"))
+
+    def entry_count(self) -> int:
+        return len(self.entries())
+
+    def size_bytes(self) -> int:
+        return sum(path.stat().st_size for path in self.entries())
+
+    def clear(self) -> int:
+        """Delete every cached result; returns the number removed."""
+        removed = 0
+        for path in self.entries():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+
+class NullCache:
+    """Cache stand-in that stores nothing (``--no-cache``)."""
+
+    root = None
+    hits = 0
+    misses = 0
+
+    def key_for(self, workload, iterations, model, overrides) -> str:
+        return ""
+
+    def get(self, key):
+        return None
+
+    def put(self, key, result) -> None:
+        pass
+
+    def entry_count(self) -> int:
+        return 0
+
+    def size_bytes(self) -> int:
+        return 0
+
+    def clear(self) -> int:
+        return 0

@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Sequence
 from ..uarch import Consistency, ConfidencePolicy, LoadKind, LowConfOutcome, ModelKind
 from ..workloads import ALL_NAMES, FP_NAMES, INT_NAMES
 from . import paper_data
+from .parallel import make_point
 from .reporting import format_table, geomean, percent, suite_geomeans
 from .runner import ExperimentRunner
 
@@ -64,6 +65,19 @@ def _suite_split(names: Sequence[str]):
             [n for n in names if n in FP_NAMES])
 
 
+def _prefetch(runner: ExperimentRunner, names: Sequence[str],
+              combos: Sequence) -> None:
+    """Submit one experiment's full point set as a batch (parallel map).
+
+    ``combos`` is a sequence of (model, overrides-dict) pairs; the cross
+    product with ``names`` is the experiment's point set.  Subsequent
+    ``runner.run`` calls resolve from the memo, so the per-row assembly
+    code below stays serial and simple.
+    """
+    runner.run_batch(make_point(name, model, **overrides)
+                     for name in names for model, overrides in combos)
+
+
 # ---------------------------------------------------------------------------
 # Motivation figures.
 # ---------------------------------------------------------------------------
@@ -73,6 +87,7 @@ def fig02_load_distribution(runner: ExperimentRunner,
                             ) -> ExperimentResult:
     """Paper Fig. 2: how NoSQ loads obtain their values."""
     names = _names(workloads)
+    _prefetch(runner, names, [(ModelKind.NOSQ, {})])
     rows = []
     high_delay = []
     for name in names:
@@ -98,6 +113,7 @@ def fig03_delayed_vs_bypassing(runner: ExperimentRunner,
                                ) -> ExperimentResult:
     """Paper Fig. 3: delayed loads take far longer than bypassing loads."""
     names = _names(workloads)
+    _prefetch(runner, names, [(ModelKind.NOSQ, {})])
     rows = []
     ratios = []
     for name in names:
@@ -128,6 +144,7 @@ def fig05_lowconf_breakdown(runner: ExperimentRunner,
                             ) -> ExperimentResult:
     """Paper Fig. 5: outcomes of low-confidence dependence predictions."""
     names = _names(workloads)
+    _prefetch(runner, names, [(ModelKind.NOSQ, {})])
     rows = []
     total = {k: 0 for k in LowConfOutcome}
     for name in names:
@@ -169,6 +186,9 @@ def fig12_speedup(runner: ExperimentRunner,
                   ) -> ExperimentResult:
     """Paper Fig. 12: IPC normalised to the baseline."""
     names = _names(workloads)
+    _prefetch(runner, names, [(model, {}) for model in
+                              (ModelKind.BASELINE, ModelKind.NOSQ,
+                               ModelKind.DMDP, ModelKind.PERFECT)])
     int_names, fp_names = _suite_split(names)
     per_model: Dict[ModelKind, Dict[str, float]] = {}
     rows = []
@@ -217,6 +237,8 @@ def table4_load_exec_time(runner: ExperimentRunner,
                           ) -> ExperimentResult:
     """Paper Table IV: average execution time of all loads."""
     names = _names(workloads)
+    _prefetch(runner, names, [(ModelKind.BASELINE, {}),
+                              (ModelKind.DMDP, {})])
     rows = []
     base_sum = dmdp_sum = 0.0
     for name in names:
@@ -250,6 +272,7 @@ def table5_lowconf_exec_time(runner: ExperimentRunner,
                              ) -> ExperimentResult:
     """Paper Table V: low-confidence load execution time, NoSQ vs DMDP."""
     names = _names(workloads)
+    _prefetch(runner, names, [(ModelKind.NOSQ, {}), (ModelKind.DMDP, {})])
     rows = []
     savings = []
     for name in names:
@@ -281,6 +304,7 @@ def table6_mpki(runner: ExperimentRunner,
                 ) -> ExperimentResult:
     """Paper Table VI: memory dependence mispredictions per 1k insns."""
     names = _names(workloads)
+    _prefetch(runner, names, [(ModelKind.NOSQ, {}), (ModelKind.DMDP, {})])
     rows = []
     for name in names:
         nosq = runner.run(name, ModelKind.NOSQ).stats.dep_mpki
@@ -304,6 +328,7 @@ def table7_reexec_stalls(runner: ExperimentRunner,
                          ) -> ExperimentResult:
     """Paper Table VII: retire-stall cycles per 1k committed instructions."""
     names = _names(workloads)
+    _prefetch(runner, names, [(ModelKind.NOSQ, {}), (ModelKind.DMDP, {})])
     rows = []
     for name in names:
         nosq = runner.run(name, ModelKind.NOSQ).stats
@@ -330,6 +355,9 @@ def fig14_store_buffer(runner: ExperimentRunner,
                        ) -> ExperimentResult:
     """Paper Fig. 14: DMDP IPC with 32/64-entry SB over a 16-entry SB."""
     names = _names(workloads)
+    _prefetch(runner, names,
+              [(ModelKind.DMDP, {"store_buffer_entries": size})
+               for size in (16, 32, 64)])
     int_names, fp_names = _suite_split(names)
     rows = []
     ratio32: Dict[str, float] = {}
@@ -372,6 +400,7 @@ def fig15_edp(runner: ExperimentRunner,
               ) -> ExperimentResult:
     """Paper Fig. 15: DMDP energy-delay product normalised to NoSQ."""
     names = _names(workloads)
+    _prefetch(runner, names, [(ModelKind.NOSQ, {}), (ModelKind.DMDP, {})])
     int_names, fp_names = _suite_split(names)
     rows = []
     edp_ratio: Dict[str, float] = {}
@@ -399,6 +428,8 @@ def fig15_edp(runner: ExperimentRunner,
 
 def _dmdp_vs_nosq(runner: ExperimentRunner, names: Sequence[str],
                   **overrides) -> Dict[str, float]:
+    _prefetch(runner, names, [(ModelKind.NOSQ, overrides),
+                              (ModelKind.DMDP, overrides)])
     out = {}
     for name in names:
         nosq = runner.run(name, ModelKind.NOSQ, **overrides).ipc
@@ -498,6 +529,10 @@ def ablation_regfile(runner: ExperimentRunner,
                      ) -> ExperimentResult:
     """Paper Section VI-f: halving the register file trims the DMDP gain."""
     names = _names(workloads)
+    _prefetch(runner, names,
+              [(model, {"num_pregs": pregs})
+               for model in (ModelKind.BASELINE, ModelKind.DMDP)
+               for pregs in (320, 160)])
     rows = []
     gains = {320: [], 160: []}
     for name in names:
@@ -528,6 +563,10 @@ def ablation_confidence(runner: ExperimentRunner,
                         ) -> ExperimentResult:
     """Paper Section IV-E: biased (divide-by-2) vs balanced (-1) update."""
     names = _names(workloads)
+    _prefetch(runner, names,
+              [(ModelKind.DMDP, {}),
+               (ModelKind.DMDP,
+                {"confidence_policy": ConfidencePolicy.BALANCED})])
     rows = []
     for name in names:
         biased = runner.run(name, ModelKind.DMDP).stats
@@ -556,6 +595,9 @@ def ablation_silent_store(runner: ExperimentRunner,
                           ) -> ExperimentResult:
     """Paper Section IV-C.a / VI-a: silent-store-aware predictor updates."""
     names = _names(workloads)
+    _prefetch(runner, names,
+              [(ModelKind.DMDP, {}),
+               (ModelKind.DMDP, {"silent_store_aware": False})])
     rows = []
     for name in names:
         aware = runner.run(name, ModelKind.DMDP).stats
@@ -580,6 +622,9 @@ def ext_tage_predictor(runner: ExperimentRunner,
     """Extension (paper Section VII): a TAGE-structured store distance
     predictor, as suggested for Perais & Seznec's distance predictor."""
     names = _names(workloads)
+    _prefetch(runner, names,
+              [(ModelKind.DMDP, {}),
+               (ModelKind.DMDP, {"use_tage_predictor": True})])
     int_names, fp_names = _suite_split(names)
     rows = []
     ratios = {}
@@ -613,6 +658,10 @@ def ext_untagged_ssbf(runner: ExperimentRunner,
     """Ablation: the tagged SSBF vs Roth's original untagged filter."""
     from ..uarch import PredictorParams
     names = _names(workloads)
+    _prefetch(runner, names,
+              [(ModelKind.DMDP, {}),
+               (ModelKind.DMDP,
+                {"predictor": PredictorParams(tssbf_tagged=False)})])
     rows = []
     tagged_rx = untagged_rx = 0
     for name in names:

@@ -1,0 +1,138 @@
+"""Parallel fan-out of simulation points over multiprocessing workers.
+
+Simulation points are embarrassingly parallel (each is one deterministic
+``Simulator`` run), so a batch of (workload, model, overrides) points is
+grouped by workload -- one task per workload, so each worker traces a
+workload once and reuses that trace for every configuration of it -- and
+mapped over a process pool.  Results come back with per-point wall-clock
+timings; ordering is restored by point key, so a parallel batch is
+byte-identical to a serial one.
+
+Workers run their own in-process :class:`ExperimentRunner` with the disk
+cache disabled: the parent filters cache hits *before* fanning out and is
+the only writer, which keeps cache publication single-sourced.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..uarch import ModelKind
+
+
+@dataclass(frozen=True)
+class SimPoint:
+    """One simulation configuration: a (workload, model, overrides) triple.
+
+    ``overrides`` is stored as a sorted tuple of (name, value) pairs so
+    points are hashable; build points with :func:`make_point` when starting
+    from a keyword dict.
+    """
+
+    workload: str
+    model: ModelKind
+    overrides: Tuple[Tuple[str, object], ...] = ()
+
+    @property
+    def override_dict(self) -> dict:
+        return dict(self.overrides)
+
+
+def make_point(workload: str, model: ModelKind, **overrides) -> SimPoint:
+    return SimPoint(workload, model,
+                    tuple(sorted(overrides.items())))
+
+
+@dataclass
+class PointTiming:
+    """Provenance and cost of one resolved simulation point."""
+
+    workload: str
+    model: ModelKind
+    seconds: float
+    source: str                      # "sim" | "cache"
+
+
+@dataclass
+class BatchTiming:
+    """Wall-clock accounting for one fan-out batch."""
+
+    points: int = 0
+    simulated: int = 0
+    cache_hits: int = 0
+    memo_hits: int = 0
+    jobs: int = 1
+    wall_seconds: float = 0.0
+    sim_seconds: float = 0.0         # sum of per-point simulation time
+
+    @property
+    def speedup(self) -> float:
+        """Aggregate parallel speedup: serial sim time over batch wall."""
+        if self.wall_seconds <= 0.0:
+            return 1.0
+        return self.sim_seconds / self.wall_seconds
+
+
+# -- worker side -----------------------------------------------------------
+
+_WORKER_RUNNER = None
+
+
+def _init_worker(scale: Optional[float]) -> None:
+    """Build the per-process runner (traces persist across same-workload
+    points handed to this worker)."""
+    global _WORKER_RUNNER
+    from .runner import ExperimentRunner
+    _WORKER_RUNNER = ExperimentRunner(scale=scale, jobs=1, use_cache=False)
+
+
+def _run_task(task):
+    """Simulate every configuration of one workload; returns timings."""
+    workload, configs = task
+    out = []
+    for model, overrides in configs:
+        start = time.perf_counter()
+        result = _WORKER_RUNNER.run(workload, model, **dict(overrides))
+        out.append((model, overrides, result,
+                    time.perf_counter() - start))
+    return workload, out
+
+
+# -- parent side ------------------------------------------------------------
+
+@dataclass
+class ParallelEngine:
+    """Maps batches of :class:`SimPoint` over a worker pool."""
+
+    jobs: int = 1
+    scale: Optional[float] = None
+    progress: object = None          # optional callable(str)
+
+    def run_points(self, points: List[SimPoint]
+                   ) -> Dict[SimPoint, Tuple[object, float]]:
+        """Simulate every point; returns {point: (SimResult, seconds)}."""
+        if not points:
+            return {}
+        by_workload: Dict[str, List[Tuple[ModelKind, tuple]]] = {}
+        for point in points:
+            by_workload.setdefault(point.workload, []).append(
+                (point.model, point.overrides))
+        tasks = sorted(by_workload.items())
+        results: Dict[SimPoint, Tuple[object, float]] = {}
+
+        workers = min(self.jobs, len(tasks))
+        with multiprocessing.Pool(processes=workers,
+                                  initializer=_init_worker,
+                                  initargs=(self.scale,)) as pool:
+            for workload, outcomes in pool.imap_unordered(_run_task, tasks):
+                for model, overrides, result, seconds in outcomes:
+                    results[SimPoint(workload, model, overrides)] = \
+                        (result, seconds)
+                if self.progress is not None:
+                    self.progress("  simulated %-10s (%d point%s)"
+                                  % (workload, len(outcomes),
+                                     "s" if len(outcomes) != 1 else ""))
+        return results

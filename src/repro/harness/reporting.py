@@ -10,6 +10,8 @@ from __future__ import annotations
 import math
 from typing import Dict, Iterable, List, Optional, Sequence
 
+from .parallel import BatchTiming, PointTiming
+
 
 def geomean(values: Iterable[float]) -> float:
     """Geometric mean (the paper's aggregate for speedups)."""
@@ -69,6 +71,44 @@ def suite_geomeans(per_workload: Dict[str, float],
         "fp": geomean([per_workload[n] for n in fp_names
                        if n in per_workload]),
     }
+
+
+def format_point_log(points: Sequence[PointTiming],
+                     limit: Optional[int] = None) -> str:
+    """Per-point wall-clock table: what was simulated vs cache-hit."""
+    rows = [[p.workload, p.model.value, p.source, "%.3f" % p.seconds]
+            for p in (points if limit is None else points[-limit:])]
+    return format_table(["workload", "model", "source", "seconds"], rows,
+                        title="Per-point timing")
+
+
+def format_run_report(points: Sequence[PointTiming],
+                      batches: Sequence[BatchTiming] = ()) -> str:
+    """Aggregate progress/speedup summary for one runner's session.
+
+    Reports points simulated vs served from the persistent cache, the
+    wall-clock spent in each bucket, and -- when batches ran with worker
+    fan-out -- the aggregate parallel speedup (serial simulation seconds
+    over batch wall-clock).
+    """
+    simulated = [p for p in points if p.source == "sim"]
+    cached = [p for p in points if p.source == "cache"]
+    lines = [
+        "points simulated      %d (%.2fs)"
+        % (len(simulated), sum(p.seconds for p in simulated)),
+        "points from cache     %d (%.2fs)"
+        % (len(cached), sum(p.seconds for p in cached)),
+    ]
+    fanout = [b for b in batches if b.simulated and b.jobs > 1]
+    if fanout:
+        sim_seconds = sum(b.sim_seconds for b in fanout)
+        wall = sum(b.wall_seconds for b in fanout)
+        lines.append("parallel batches      %d (jobs=%d)"
+                     % (len(fanout), fanout[0].jobs))
+        lines.append("aggregate speedup     %.2fx (%.2fs simulated in "
+                     "%.2fs wall)" % (sim_seconds / wall if wall else 1.0,
+                                      sim_seconds, wall))
+    return "\n".join(lines)
 
 
 def shape_check(measured: float, paper: float,

@@ -1,13 +1,23 @@
 """Experiment runner: builds workloads, traces them once, and simulates
-them under arbitrary model/parameter combinations with memoisation.
+them under arbitrary model/parameter combinations with three cache layers:
 
-Every figure/table benchmark shares one module-level :class:`ExperimentRunner`
-so a full ``pytest benchmarks/`` session never simulates the same
-(workload, model, parameters) point twice.
+1. an in-process memo (same runner, same point -> same object),
+2. a persistent on-disk result cache (:mod:`repro.harness.cache`), keyed
+   by a content hash of (workload, iterations, model, overrides, code
+   version), so warm pytest/benchmark sessions skip simulation entirely,
+3. a parallel fan-out engine (:mod:`repro.harness.parallel`) that maps
+   batches of points over multiprocessing workers.
+
+Figure/table functions submit their whole point set through
+:meth:`ExperimentRunner.run_batch` (collect points -> parallel map ->
+assemble); individual :meth:`run` calls then resolve from the memo.
+Every resolved point is logged with its wall-clock cost and provenance
+("sim" vs "cache") for the reporting layer.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -18,6 +28,9 @@ from ..kernel.trace import TraceEntry
 from ..uarch import CoreParams, ModelKind, SimStats, model_params
 from ..uarch.pipeline import Simulator
 from ..workloads import ALL_NAMES, get_workload
+from .cache import NullCache, ResultCache
+from .parallel import (BatchTiming, ParallelEngine, PointTiming, SimPoint,
+                       make_point)
 
 
 @dataclass(frozen=True)
@@ -46,23 +59,45 @@ def _freeze(value):
 class ExperimentRunner:
     """Caches traces and simulation results across experiments."""
 
-    def __init__(self, scale: Optional[float] = None):
+    def __init__(self, scale: Optional[float] = None, jobs: int = 1,
+                 cache: Optional[ResultCache] = None, use_cache: bool = True,
+                 progress=None):
         """``scale`` multiplies every workload's default iteration count
-        (e.g. 0.1 for quick tests); None keeps per-workload defaults."""
+        (e.g. 0.1 for quick tests); None keeps per-workload defaults.
+        ``jobs`` is the worker-process count for batch submissions (1 =
+        in-process serial).  ``cache`` overrides the default on-disk result
+        cache; ``use_cache=False`` disables persistence entirely.
+        ``progress`` is an optional callable(str) for live reporting."""
         self.scale = scale
+        self.jobs = max(1, int(jobs))
+        if cache is not None:
+            self.cache = cache
+        elif use_cache:
+            self.cache = ResultCache()
+        else:
+            self.cache = NullCache()
+        self.progress = progress
         self._programs: Dict[str, Program] = {}
         self._traces: Dict[str, List[TraceEntry]] = {}
         self._results: Dict[Tuple, SimResult] = {}
+        self.point_log: List[PointTiming] = []
+        self.batch_log: List[BatchTiming] = []
 
     # -- workload plumbing ---------------------------------------------------
+
+    def iterations(self, workload: str) -> int:
+        """Resolved iteration count (part of the persistent cache key)."""
+        spec = get_workload(workload)
+        if self.scale is None:
+            return spec.default_scale
+        return max(1, int(round(spec.default_scale * self.scale)))
 
     def program(self, workload: str) -> Program:
         if workload not in self._programs:
             spec = get_workload(workload)
             iterations = None
             if self.scale is not None:
-                iterations = max(1, int(round(spec.default_scale
-                                              * self.scale)))
+                iterations = self.iterations(workload)
             self._programs[workload] = spec.build(iterations)
         return self._programs[workload]
 
@@ -72,20 +107,52 @@ class ExperimentRunner:
             self._traces[workload] = cpu.run_trace(max_instructions=5_000_000)
         return self._traces[workload]
 
+    # -- cache plumbing ------------------------------------------------------
+
+    def _memo_key(self, workload: str, model: ModelKind,
+                  overrides: dict) -> Tuple:
+        return (workload, model, _freeze(overrides))
+
+    def _disk_key(self, workload: str, model: ModelKind,
+                  overrides: dict) -> str:
+        return self.cache.key_for(workload, self.iterations(workload),
+                                  model, overrides)
+
+    def _log_point(self, workload: str, model: ModelKind, seconds: float,
+                   source: str) -> None:
+        self.point_log.append(PointTiming(workload, model, seconds, source))
+        if self.progress is not None:
+            self.progress("  %-10s %-8s %-5s %.3fs"
+                          % (workload, model.value, source, seconds))
+
     # -- simulation ------------------------------------------------------------
 
-    def run(self, workload: str, model: ModelKind,
-            **overrides) -> SimResult:
-        """Simulate one point; results are memoised."""
-        key = (workload, model, _freeze(overrides))
-        cached = self._results.get(key)
-        if cached is not None:
-            return cached
+    def _simulate(self, workload: str, model: ModelKind,
+                  overrides: dict) -> SimResult:
         params = model_params(model, **overrides)
         stats = Simulator(self.program(workload), self.trace(workload),
                           params).run()
-        result = SimResult(workload=workload, model=model, stats=stats,
-                           energy=energy_report(stats, params.energy))
+        return SimResult(workload=workload, model=model, stats=stats,
+                         energy=energy_report(stats, params.energy))
+
+    def run(self, workload: str, model: ModelKind,
+            **overrides) -> SimResult:
+        """Simulate one point; memoised in-process and on disk."""
+        key = self._memo_key(workload, model, overrides)
+        cached = self._results.get(key)
+        if cached is not None:
+            return cached
+        start = time.perf_counter()
+        disk_key = self._disk_key(workload, model, overrides)
+        result = self.cache.get(disk_key)
+        if result is not None:
+            self._log_point(workload, model, time.perf_counter() - start,
+                            "cache")
+        else:
+            result = self._simulate(workload, model, overrides)
+            self.cache.put(disk_key, result)
+            self._log_point(workload, model, time.perf_counter() - start,
+                            "sim")
         self._results[key] = result
         return result
 
@@ -96,22 +163,107 @@ class ExperimentRunner:
         return SimResult(workload=workload, model=params.model, stats=stats,
                          energy=energy_report(stats, params.energy))
 
+    # -- batch fan-out -------------------------------------------------------
+
+    def run_batch(self, points: Iterable[SimPoint]) -> Dict[SimPoint,
+                                                            SimResult]:
+        """Resolve a whole point set: memo -> disk cache -> parallel map.
+
+        Returns {point: SimResult}; every result is also memoised, so
+        subsequent :meth:`run` calls for the same points are free.
+        """
+        batch_start = time.perf_counter()
+        timing = BatchTiming(jobs=self.jobs)
+        out: Dict[SimPoint, SimResult] = {}
+        misses: List[SimPoint] = []
+        seen = set()
+        for point in points:
+            if point in seen:
+                continue
+            seen.add(point)
+            timing.points += 1
+            overrides = point.override_dict
+            key = self._memo_key(point.workload, point.model, overrides)
+            cached = self._results.get(key)
+            if cached is not None:
+                timing.memo_hits += 1
+                out[point] = cached
+                continue
+            start = time.perf_counter()
+            result = self.cache.get(
+                self._disk_key(point.workload, point.model, overrides))
+            if result is not None:
+                timing.cache_hits += 1
+                self._results[key] = result
+                out[point] = result
+                self._log_point(point.workload, point.model,
+                                time.perf_counter() - start, "cache")
+            else:
+                misses.append(point)
+
+        if misses:
+            timing.simulated = len(misses)
+            if self.jobs > 1 and len(misses) > 1:
+                engine = ParallelEngine(jobs=self.jobs, scale=self.scale,
+                                        progress=self.progress)
+                resolved = engine.run_points(misses)
+            else:
+                resolved = {}
+                for point in misses:
+                    start = time.perf_counter()
+                    result = self._simulate(point.workload, point.model,
+                                            point.override_dict)
+                    resolved[point] = (result, time.perf_counter() - start)
+            for point in misses:
+                result, seconds = resolved[point]
+                timing.sim_seconds += seconds
+                overrides = point.override_dict
+                self.cache.put(
+                    self._disk_key(point.workload, point.model, overrides),
+                    result)
+                self._results[self._memo_key(point.workload, point.model,
+                                             overrides)] = result
+                out[point] = result
+                self._log_point(point.workload, point.model, seconds, "sim")
+
+        timing.wall_seconds = time.perf_counter() - batch_start
+        if timing.points:
+            self.batch_log.append(timing)
+        return out
+
+    def prefetch(self, points: Iterable[SimPoint]) -> None:
+        """Warm the memo for a point set (parallel when ``jobs`` > 1)."""
+        self.run_batch(points)
+
     def run_suite(self, model: ModelKind,
                   workloads: Optional[Iterable[str]] = None,
                   **overrides) -> Dict[str, SimResult]:
         """Simulate one model across a workload list (default: all 21)."""
         names = list(workloads) if workloads is not None else ALL_NAMES
+        self.prefetch(make_point(name, model, **overrides) for name in names)
         return {name: self.run(name, model, **overrides) for name in names}
 
     def run_matrix(self, models: Iterable[ModelKind],
                    workloads: Optional[Iterable[str]] = None,
                    **overrides) -> Dict[ModelKind, Dict[str, SimResult]]:
         """Simulate several models across a workload list."""
-        return {model: self.run_suite(model, workloads, **overrides)
+        names = list(workloads) if workloads is not None else list(ALL_NAMES)
+        models = list(models)
+        self.prefetch(make_point(name, model, **overrides)
+                      for model in models for name in names)
+        return {model: self.run_suite(model, names, **overrides)
                 for model in models}
+
+    # -- accounting ----------------------------------------------------------
 
     def cache_size(self) -> int:
         return len(self._results)
+
+    def points_simulated(self) -> int:
+        return sum(1 for p in self.point_log if p.source == "sim")
+
+    def points_from_cache(self) -> int:
+        return sum(1 for p in self.point_log if p.source == "cache")
 
 
 # A process-wide runner shared by the benchmark files.

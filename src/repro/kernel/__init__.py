@@ -1,10 +1,12 @@
 """Functional simulation substrate: memory, interpreter CPU, dynamic traces."""
 
 from .memory import SparseMemory
-from .cpu import ExecutionError, FunctionalCpu, run_program, to_signed, to_unsigned
+from .cpu import (ExecutionError, FunctionalCpu, alu_result, run_program,
+                  sign_extend, to_signed, to_unsigned)
 from .trace import TraceEntry, TraceRecorder, trace_summary
 
 __all__ = [
-    "SparseMemory", "ExecutionError", "FunctionalCpu", "run_program",
-    "to_signed", "to_unsigned", "TraceEntry", "TraceRecorder", "trace_summary",
+    "SparseMemory", "ExecutionError", "FunctionalCpu", "alu_result",
+    "run_program", "sign_extend", "to_signed", "to_unsigned",
+    "TraceEntry", "TraceRecorder", "trace_summary",
 ]

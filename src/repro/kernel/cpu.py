@@ -34,11 +34,79 @@ def to_unsigned(value: int) -> int:
     return value & WORD_MASK
 
 
-def _sign_extend(value: int, size: int) -> int:
+def sign_extend(value: int, size: int) -> int:
+    """Sign-extend the low ``size`` bytes of ``value`` to 32 bits."""
     bits = 8 * size
     sign = 1 << (bits - 1)
     value &= (1 << bits) - 1
     return to_unsigned(value - (1 << bits)) if value & sign else value
+
+
+_sign_extend = sign_extend
+
+
+def alu_result(op: Opcode, rs: int, rt: int, imm: int) -> int:
+    """Architectural result of an ALU opcode on 32-bit operand values.
+
+    Pure function shared by :class:`FunctionalCpu` and the timing
+    simulator's architectural-state tracker, so both compute results from
+    the same semantics.  The result is NOT masked to 32 bits; register
+    writes apply ``WORD_MASK``.
+    """
+    if op in (Opcode.ADD, Opcode.FADD):
+        return rs + rt
+    if op in (Opcode.SUB, Opcode.FSUB):
+        return rs - rt
+    if op is Opcode.AND:
+        return rs & rt
+    if op is Opcode.OR:
+        return rs | rt
+    if op is Opcode.XOR:
+        return rs ^ rt
+    if op is Opcode.NOR:
+        return ~(rs | rt)
+    if op is Opcode.SLT:
+        return int(to_signed(rs) < to_signed(rt))
+    if op is Opcode.SLTU:
+        return int(rs < rt)
+    if op is Opcode.SLLV:
+        return rs << (rt & 0x1F)
+    if op is Opcode.SRLV:
+        return rs >> (rt & 0x1F)
+    if op is Opcode.SRAV:
+        return to_signed(rs) >> (rt & 0x1F)
+    if op in (Opcode.MUL, Opcode.FMUL):
+        return to_signed(rs) * to_signed(rt)
+    if op is Opcode.MULH:
+        return (to_signed(rs) * to_signed(rt)) >> 32
+    if op in (Opcode.DIV, Opcode.FDIV):
+        divisor = to_signed(rt)
+        return 0 if divisor == 0 else int(to_signed(rs) / divisor)
+    if op is Opcode.REM:
+        divisor = to_signed(rt)
+        return 0 if divisor == 0 else to_signed(rs) - divisor * int(
+            to_signed(rs) / divisor)
+    if op is Opcode.ADDI:
+        return rs + imm
+    if op is Opcode.ANDI:
+        return rs & (imm & 0xFFFF)
+    if op is Opcode.ORI:
+        return rs | (imm & 0xFFFF)
+    if op is Opcode.XORI:
+        return rs ^ (imm & 0xFFFF)
+    if op is Opcode.SLTI:
+        return int(to_signed(rs) < imm)
+    if op is Opcode.SLTIU:
+        return int(rs < (imm & WORD_MASK))
+    if op is Opcode.LUI:
+        return (imm & 0xFFFF) << 16
+    if op is Opcode.SLL:
+        return rs << imm
+    if op is Opcode.SRL:
+        return rs >> imm
+    if op is Opcode.SRA:
+        return to_signed(rs) >> imm
+    raise ExecutionError("unimplemented opcode %s" % op.name)
 
 
 class FunctionalCpu:
@@ -160,69 +228,11 @@ class FunctionalCpu:
         raise ExecutionError("not a branch: %s" % instr)
 
     def _alu(self, instr: Instruction) -> None:
-        op = instr.op
         regs = self.regs
         rs = regs[instr.rs] if instr.rs is not None else 0
         rt = regs[instr.rt] if instr.rt is not None else 0
         imm = instr.imm if instr.imm is not None else 0
-
-        if op in (Opcode.ADD, Opcode.FADD):
-            result = rs + rt
-        elif op in (Opcode.SUB, Opcode.FSUB):
-            result = rs - rt
-        elif op is Opcode.AND:
-            result = rs & rt
-        elif op is Opcode.OR:
-            result = rs | rt
-        elif op is Opcode.XOR:
-            result = rs ^ rt
-        elif op is Opcode.NOR:
-            result = ~(rs | rt)
-        elif op is Opcode.SLT:
-            result = int(to_signed(rs) < to_signed(rt))
-        elif op is Opcode.SLTU:
-            result = int(rs < rt)
-        elif op is Opcode.SLLV:
-            result = rs << (rt & 0x1F)
-        elif op is Opcode.SRLV:
-            result = rs >> (rt & 0x1F)
-        elif op is Opcode.SRAV:
-            result = to_signed(rs) >> (rt & 0x1F)
-        elif op in (Opcode.MUL, Opcode.FMUL):
-            result = to_signed(rs) * to_signed(rt)
-        elif op is Opcode.MULH:
-            result = (to_signed(rs) * to_signed(rt)) >> 32
-        elif op in (Opcode.DIV, Opcode.FDIV):
-            divisor = to_signed(rt)
-            result = 0 if divisor == 0 else int(to_signed(rs) / divisor)
-        elif op is Opcode.REM:
-            divisor = to_signed(rt)
-            result = 0 if divisor == 0 else to_signed(rs) - divisor * int(
-                to_signed(rs) / divisor)
-        elif op is Opcode.ADDI:
-            result = rs + imm
-        elif op is Opcode.ANDI:
-            result = rs & (imm & 0xFFFF)
-        elif op is Opcode.ORI:
-            result = rs | (imm & 0xFFFF)
-        elif op is Opcode.XORI:
-            result = rs ^ (imm & 0xFFFF)
-        elif op is Opcode.SLTI:
-            result = int(to_signed(rs) < imm)
-        elif op is Opcode.SLTIU:
-            result = int(rs < (imm & WORD_MASK))
-        elif op is Opcode.LUI:
-            result = (imm & 0xFFFF) << 16
-        elif op is Opcode.SLL:
-            result = rs << imm
-        elif op is Opcode.SRL:
-            result = rs >> imm
-        elif op is Opcode.SRA:
-            result = to_signed(rs) >> imm
-        else:
-            raise ExecutionError("unimplemented opcode %s" % op.name)
-
-        self.write_reg(instr.dest_reg(), result)
+        self.write_reg(instr.dest_reg(), alu_result(instr.op, rs, rt, imm))
 
 
 def run_program(program: Program,

@@ -88,6 +88,17 @@ class SparseMemory:
         """Page numbers that have been allocated (for tests/inspection)."""
         return self._pages.keys()
 
+    def snapshot(self) -> Dict[int, bytes]:
+        """Immutable image of every page with non-zero content.
+
+        Pages that were touched but hold only zeroes are dropped, so two
+        memories with the same logical contents compare equal even when
+        they allocated different page sets.
+        """
+        zero = bytes(PAGE_SIZE)
+        return {num: bytes(page) for num, page in self._pages.items()
+                if bytes(page) != zero}
+
     def copy(self) -> "SparseMemory":
         clone = SparseMemory()
         clone._pages = {num: bytearray(page) for num, page in self._pages.items()}

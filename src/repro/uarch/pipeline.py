@@ -25,8 +25,10 @@ import heapq
 from collections import Counter, deque
 from typing import Deque, Dict, List, Optional, Tuple
 
-from ..isa import FuClass, Instruction, Program
-from ..isa.registers import NUM_LOGICAL_REGS, REG_AGI, REG_LDTMP, REG_PRED
+from ..isa import FuClass, Instruction, Opcode, Program, STACK_TOP
+from ..isa.registers import (NUM_ARCH_REGS, NUM_LOGICAL_REGS, REG_AGI,
+                             REG_LDTMP, REG_PRED)
+from ..kernel.cpu import WORD_MASK, alu_result, sign_extend
 from ..kernel.memory import SparseMemory
 from ..kernel.trace import TraceEntry
 from .branch import BranchPredictor
@@ -119,12 +121,20 @@ class Simulator:
     """One simulation run: a trace executed under one configuration."""
 
     def __init__(self, program: Program, trace: List[TraceEntry],
-                 params: CoreParams):
+                 params: CoreParams, track_arch_state: bool = False):
         self.program = program
         self.trace = trace
         self.params = params
         self.model = params.model
         self.stats = SimStats()
+
+        # Optional committed architectural register file, maintained at
+        # retire from the values the pipeline actually obtained (so the
+        # differential oracle tests catch forwarding/verification bugs).
+        self.arch_regs: Optional[List[int]] = None
+        if track_arch_state:
+            self.arch_regs = [0] * NUM_ARCH_REGS
+            self.arch_regs[29] = STACK_TOP  # $sp, as in FunctionalCpu
 
         # Substrates.
         self.hier = MemoryHierarchy(
@@ -416,6 +426,8 @@ class Simulator:
         instr.retired = True
         self._ee["rob_entry"] += 1
         te = instr.trace
+        if self.arch_regs is not None:
+            self._arch_update(instr)
         if self._dec[id(te.instr)].is_control:
             self.stats.branches += 1
             if instr.mispredicted_branch:
@@ -457,6 +469,59 @@ class Simulator:
         else:
             outcome = LowConfOutcome.DIFF_STORE
         self.stats.lowconf_outcome[outcome] += 1
+
+    # -- committed architectural state (differential oracle support) -------
+
+    def _arch_update(self, instr: DynInstr) -> None:
+        """Apply one committed instruction to the tracked register file."""
+        te = instr.trace
+        isa_instr = te.instr
+        op = isa_instr.op
+        if isa_instr.is_load:
+            self._arch_write(isa_instr.dest_reg(),
+                             self._arch_load_value(instr))
+        elif (isa_instr.is_store or isa_instr.is_cond_branch
+              or op in (Opcode.J, Opcode.JR, Opcode.NOP, Opcode.HALT)):
+            pass  # memory evolves through timing_mem; no register writes
+        elif op in (Opcode.JAL, Opcode.JALR):
+            self._arch_write(isa_instr.dest_reg(), te.pc + 4)
+        else:
+            regs = self.arch_regs
+            rs = regs[isa_instr.rs] if isa_instr.rs is not None else 0
+            rt = regs[isa_instr.rt] if isa_instr.rt is not None else 0
+            imm = isa_instr.imm if isa_instr.imm is not None else 0
+            self._arch_write(isa_instr.dest_reg(),
+                             alu_result(op, rs, rt, imm))
+
+    def _arch_load_value(self, instr: DynInstr) -> int:
+        li = instr.load
+        te = instr.trace
+        if li.violation:
+            # The load retires, younger work squashes, and the refetched
+            # consumers see what a post-recovery re-execution would read.
+            # NoSQ/DMDP drain the store buffer before declaring the
+            # violation, so the committed image is exact; the baseline
+            # declares violations with stores still buffered, so the trace
+            # value stands in for the post-recovery read.
+            if self.model is ModelKind.BASELINE:
+                raw = te.value
+            else:
+                raw = self.timing_mem.read(te.mem_addr, te.mem_size)
+        else:
+            raw = li.obtained_value
+            if raw is None:
+                raw = self.timing_mem.read(te.mem_addr, te.mem_size)
+        if te.instr.op in (Opcode.LH, Opcode.LB):
+            raw = sign_extend(raw, te.mem_size)
+        return raw
+
+    def _arch_write(self, reg: Optional[int], value: int) -> None:
+        if reg is not None and 0 < reg < NUM_ARCH_REGS:
+            self.arch_regs[reg] = value & WORD_MASK
+
+    def architectural_registers(self) -> Optional[List[int]]:
+        """Copy of the tracked committed register file (or None)."""
+        return None if self.arch_regs is None else list(self.arch_regs)
 
     def _retire_store(self, instr: DynInstr) -> bool:
         """Move a retiring store to the store buffer; False if it is full."""

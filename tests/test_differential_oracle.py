@@ -1,0 +1,167 @@
+"""Differential testing: timing simulator vs. the functional oracle.
+
+Random short programs run through the :class:`FunctionalCpu` interpreter
+and through the cycle-level :class:`Simulator` (with ``track_arch_state``)
+under every model.  The final architectural state -- registers and memory
+-- must be identical.  The tracked register file consumes the load values
+the *pipeline* obtained (forwarding, predication, re-execution), so bugs
+in the store-load communication machinery surface as state divergence
+rather than only as plausible-looking timing shifts.
+
+The program generator mixes ALU ops, loads/stores of all three sizes over
+a small reused offset pool (frequent dependences, silent stores, partial
+overlaps), forward branches, and leaf calls, all with a fixed seed.
+"""
+
+import random
+
+import pytest
+
+from repro.isa import ProgramBuilder
+from repro.kernel import FunctionalCpu
+from repro.uarch import ALL_MODELS, ModelKind, Simulator, model_params
+
+SEED = 20180604  # ISCA'18 (fixed: the suite must be reproducible)
+NUM_PROGRAMS = 50
+
+# Working registers the generator may clobber; $s0 (buffer base), $s6/$s7
+# (loop bound/counter), $sp and $ra stay out of the destination pool.
+REGS = ["$t0", "$t1", "$t2", "$t3", "$t4", "$t5", "$t6", "$t7", "$t8"]
+BUF_WORDS = 16
+
+ALU_RRR = ["add", "sub", "and_", "or_", "xor", "nor", "slt", "sltu",
+           "sllv", "srlv", "srav", "mul", "mulh", "div", "rem"]
+ALU_RRI = ["addi", "andi", "ori", "xori", "slti", "sltiu"]
+SHIFTS = ["sll", "srl", "sra"]
+
+
+def _emit_alu(b, rng):
+    form = rng.random()
+    dst = rng.choice(REGS)
+    if form < 0.5:
+        getattr(b, rng.choice(ALU_RRR))(dst, rng.choice(REGS),
+                                        rng.choice(REGS))
+    elif form < 0.8:
+        getattr(b, rng.choice(ALU_RRI))(dst, rng.choice(REGS),
+                                        rng.randint(-128, 127))
+    else:
+        getattr(b, rng.choice(SHIFTS))(dst, rng.choice(REGS),
+                                       rng.randint(0, 7))
+
+
+def _mem_offset(rng, size):
+    """Aligned offset into the data buffer, drawn from a small pool so
+    store->load dependences, silent stores, and partial overlaps recur."""
+    limit = 4 * BUF_WORDS
+    slots = min(6, limit // size)
+    return size * rng.randrange(slots) if rng.random() < 0.7 \
+        else size * rng.randrange(limit // size)
+
+
+def build_random_program(rng):
+    b = ProgramBuilder()
+    b.data_label("buf")
+    b.word(*[rng.getrandbits(32) for _ in range(BUF_WORDS)])
+
+    b.label("main")
+    b.la("$s0", "buf")
+    for reg in REGS:
+        b.li(reg, rng.getrandbits(16))
+    b.li("$s7", 0)
+    b.li("$s6", rng.randint(8, 24))
+
+    skip_count = [0]
+
+    def emit_body_op():
+        kind = rng.random()
+        if kind < 0.20:  # store (word-heavy, but halves/bytes too)
+            size = rng.choice([4, 4, 2, 1])
+            off = _mem_offset(rng, size)
+            {4: b.sw, 2: b.sh, 1: b.sb}[size](rng.choice(REGS), off, "$s0")
+        elif kind < 0.45:  # load
+            op, size = rng.choice([(b.lw, 4), (b.lw, 4), (b.lh, 2),
+                                   (b.lhu, 2), (b.lb, 1), (b.lbu, 1)])
+            op(rng.choice(REGS), _mem_offset(rng, size), "$s0")
+        elif kind < 0.53:  # forward branch over a couple of ops
+            label = "skip%d" % skip_count[0]
+            skip_count[0] += 1
+            branch = rng.choice([b.beq, b.bne, b.blt, b.bge])
+            branch(rng.choice(REGS), rng.choice(REGS), label)
+            for _ in range(rng.randint(1, 2)):
+                _emit_alu(b, rng)
+            b.label(label)
+        elif kind < 0.58:  # leaf call (JAL/JR coverage)
+            b.jal("leaf")
+        else:
+            _emit_alu(b, rng)
+
+    b.label("loop")
+    for _ in range(rng.randint(10, 18)):
+        emit_body_op()
+    b.addi("$s7", "$s7", 1)
+    b.blt("$s7", "$s6", "loop")
+    b.halt()
+
+    b.label("leaf")
+    _emit_alu(b, rng)
+    b.jr("$ra")
+    return b.build()
+
+
+_ORACLE_CACHE = {}
+
+
+def oracle_case(index):
+    """(program, trace, reference regs, reference memory) for one seed."""
+    if index not in _ORACLE_CACHE:
+        rng = random.Random(SEED + index)
+        prog = build_random_program(rng)
+        cpu = FunctionalCpu(prog)
+        trace = cpu.run_trace(max_instructions=200_000)
+        _ORACLE_CACHE[index] = (prog, trace, list(cpu.regs),
+                                cpu.memory.snapshot())
+    return _ORACLE_CACHE[index]
+
+
+@pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: m.value)
+def test_random_programs_match_oracle(model):
+    for index in range(NUM_PROGRAMS):
+        prog, trace, ref_regs, ref_mem = oracle_case(index)
+        sim = Simulator(prog, trace, model_params(model),
+                        track_arch_state=True)
+        sim.run()
+        got = sim.architectural_registers()
+        diverged = [(r, got[r], ref_regs[r]) for r in range(1, 32)
+                    if got[r] != ref_regs[r]]
+        assert not diverged, (
+            "program %d under %s: register divergence %r"
+            % (index, model.value, diverged[:8]))
+        assert sim.timing_mem.snapshot() == ref_mem, (
+            "program %d under %s: memory divergence" % (index, model.value))
+
+
+def test_register_zero_is_never_written():
+    prog, trace, _, _ = oracle_case(0)
+    sim = Simulator(prog, trace, model_params(ModelKind.DMDP),
+                    track_arch_state=True)
+    sim.run()
+    assert sim.architectural_registers()[0] == 0
+
+
+def test_tracking_is_opt_in():
+    prog, trace, _, _ = oracle_case(0)
+    sim = Simulator(prog, trace, model_params(ModelKind.DMDP))
+    sim.run()
+    assert sim.arch_regs is None
+    assert sim.architectural_registers() is None
+
+
+def test_tracked_run_timing_is_unchanged():
+    """Tracking is observational: cycle counts match the untracked run."""
+    prog, trace, _, _ = oracle_case(1)
+    params = model_params(ModelKind.DMDP)
+    plain = Simulator(prog, trace, params).run()
+    tracked = Simulator(prog, trace, model_params(ModelKind.DMDP),
+                        track_arch_state=True).run()
+    assert tracked.cycles == plain.cycles
+    assert tracked.dep_mispredictions == plain.dep_mispredictions

@@ -97,6 +97,89 @@ class TestConfidencePolicies:
         assert sdp.predict(PC, 0).distance == 7
 
 
+class TestConfidenceRegression:
+    """Pin the exact counter arithmetic of the paper's biased update.
+
+    The DMDP contribution hinges on this asymmetry (Section IV-E): +1 on a
+    verified-correct prediction, integer divide-by-2 on a misprediction.
+    These sequences are hand-computed; any drift in the update rule (e.g.
+    rounding up, subtracting, or re-initialising) fails them.
+    """
+
+    def _apply(self, sdp, outcomes, policy):
+        trail = []
+        for outcome in outcomes:
+            if outcome == "hit":
+                sdp.train_correct(PC, 0)
+            else:
+                sdp.train_mispredict(PC, 0, 3, policy)
+            trail.append(sdp.predict(PC, 0).confidence)
+        return trail
+
+    def test_biased_sequence_from_init(self):
+        # init 64; three hits, then alternating mispredicts and hits:
+        # 64 ->65 ->66 ->67 ->33 ->34 ->17 ->8
+        sdp = make()
+        sdp.train_mispredict(PC, 0, 3, ConfidencePolicy.BIASED)  # allocate
+        assert sdp.predict(PC, 0).confidence == 64
+        trail = self._apply(
+            sdp, ["hit", "hit", "hit", "miss", "hit", "miss", "miss"],
+            ConfidencePolicy.BIASED)
+        assert trail == [65, 66, 67, 33, 34, 17, 8]
+
+    def test_balanced_sequence_from_init(self):
+        # Identical outcome sequence under the NoSQ policy: -1 per miss.
+        sdp = make()
+        sdp.train_mispredict(PC, 0, 3, ConfidencePolicy.BALANCED)
+        trail = self._apply(
+            sdp, ["hit", "hit", "hit", "miss", "hit", "miss", "miss"],
+            ConfidencePolicy.BALANCED)
+        assert trail == [65, 66, 67, 66, 67, 66, 65]
+
+    def test_biased_halving_floors_odd_values(self):
+        # 67 >> 1 == 33 (floor), and 1 >> 1 == 0 -- the counter can reach
+        # exactly zero and stay there.
+        sdp = make()
+        sdp.train_mispredict(PC, 0, 3, ConfidencePolicy.BIASED)
+        for _ in range(3):
+            sdp.train_correct(PC, 0)  # 67
+        sdp.train_mispredict(PC, 0, 3, ConfidencePolicy.BIASED)
+        assert sdp.predict(PC, 0).confidence == 33
+        for _ in range(10):
+            sdp.train_mispredict(PC, 0, 3, ConfidencePolicy.BIASED)
+        assert sdp.predict(PC, 0).confidence == 0
+        sdp.train_mispredict(PC, 0, 3, ConfidencePolicy.BIASED)
+        assert sdp.predict(PC, 0).confidence == 0  # saturates at zero
+
+    def test_recovery_from_zero_is_linear(self):
+        sdp = make()
+        sdp.train_mispredict(PC, 0, 3, ConfidencePolicy.BIASED)
+        for _ in range(8):
+            sdp.train_mispredict(PC, 0, 3, ConfidencePolicy.BIASED)  # -> 0
+        assert sdp.predict(PC, 0).confidence == 0
+        trail = self._apply(sdp, ["hit"] * 5, ConfidencePolicy.BIASED)
+        assert trail == [1, 2, 3, 4, 5]
+
+    def test_mispredictions_to_cross_threshold_from_saturation(self):
+        # From the saturated counter (127), one biased misprediction lands
+        # exactly on the threshold (127 >> 1 == 63, no longer high
+        # confidence); the balanced policy needs 64 decrements.
+        counts = {}
+        for policy in ConfidencePolicy:
+            sdp = make()
+            sdp.train_mispredict(PC, 0, 3, policy)
+            for _ in range(63):
+                sdp.train_correct(PC, 0)
+            assert sdp.predict(PC, 0).confidence == 127
+            count = 0
+            while sdp.predict(PC, 0).is_high_confidence(63):
+                sdp.train_mispredict(PC, 0, 3, policy)
+                count += 1
+            counts[policy] = count
+        assert counts[ConfidencePolicy.BIASED] == 1
+        assert counts[ConfidencePolicy.BALANCED] == 64
+
+
 class TestPathSensitivity:
     def test_sensitive_table_wins(self):
         """Both tables are read; the path-sensitive prediction is selected

@@ -5,6 +5,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.uarch import Tssbf
+from repro.uarch.tssbf import UntaggedSsbf
 
 
 def make():
@@ -74,6 +75,110 @@ class TestConservativeFallback:
         result = filt.load_lookup(0x1000, 0xF)
         assert not result.matched
         assert result.ssn == 11  # new min
+
+
+class TestPartialWordEdgeCases:
+    """BAB corner cases of the paper's partial-word handling (Fig. 11).
+
+    The filter reports the matched store's BAB verbatim; the *pipeline*
+    decides whether coverage is partial (``store_bab & load_bab !=
+    load_bab``) and schedules a re-execution.  These tests pin the filter
+    half of that contract.
+    """
+
+    def test_partial_coverage_match_exposes_store_bab(self):
+        # SH to the low half, LW of the full word: overlap exists, so the
+        # lookup matches, but the returned BAB shows two uncovered bytes.
+        filt = make()
+        filt.store_retire(0x1000, ssn=7, bab=0b0011)
+        result = filt.load_lookup(0x1000, 0xF)
+        assert result.matched and result.ssn == 7
+        assert result.store_bab == 0b0011
+        assert (result.store_bab & 0xF) != 0xF  # pipeline: re-execute
+
+    def test_full_coverage_store_subsumes_narrow_load(self):
+        # SW then LB: the store covers every load byte -- full coverage.
+        filt = make()
+        filt.store_retire(0x1000, ssn=7, bab=0xF)
+        result = filt.load_lookup(0x1000, 0b0100)
+        assert result.matched
+        assert (result.store_bab & 0b0100) == 0b0100
+
+    def test_disjoint_byte_stores_resolve_per_byte(self):
+        # SB to byte 0 (ssn 5) and SB to byte 3 (ssn 9): a byte load sees
+        # only the store that actually wrote its byte, not the youngest
+        # store to the word.
+        filt = make()
+        filt.store_retire(0x1000, ssn=5, bab=0b0001)
+        filt.store_retire(0x1000, ssn=9, bab=0b1000)
+        assert filt.load_lookup(0x1000, 0b0001).ssn == 5
+        assert filt.load_lookup(0x1000, 0b1000).ssn == 9
+
+    def test_overlapping_byte_stores_youngest_wins(self):
+        # Both stores wrote byte 1; the halfword load must see the younger.
+        filt = make()
+        filt.store_retire(0x1000, ssn=5, bab=0b0011)
+        filt.store_retire(0x1000, ssn=9, bab=0b0010)
+        result = filt.load_lookup(0x1000, 0b0011)
+        assert result.ssn == 9 and result.store_bab == 0b0010
+
+    def test_empty_bab_store_never_collides(self):
+        filt = make()
+        filt.store_retire(0x1000, ssn=5, bab=0)
+        assert not filt.load_lookup(0x1000, 0xF).matched
+
+
+class TestTagAliasing:
+    """False positives from truncated tags are conservative, never unsafe.
+
+    With ``tag_bits`` narrower than the residual address bits, two
+    different words can present the same (set, tag) pair; the filter then
+    reports a collision that never happened.  That costs a spurious
+    re-execution (performance) but can never miss a real store (safety).
+    """
+
+    @staticmethod
+    def alias_pair(filt):
+        # Same set index, same truncated tag, different word address.
+        stride = 4 * filt.num_sets * (filt.tag_mask + 1)
+        return 0x1000, 0x1000 + stride
+
+    def test_aliased_address_false_positive(self):
+        filt = Tssbf(entries=128, assoc=4, tag_bits=4)
+        addr, alias = self.alias_pair(filt)
+        filt.store_retire(addr, ssn=5, bab=0xF)
+        result = filt.load_lookup(alias, 0xF)
+        assert result.matched and result.ssn == 5
+
+    def test_default_geometry_has_no_aliases_in_address_space(self):
+        # 25 tag bits + 5 index bits + 2 byte bits cover the full 32-bit
+        # address space: the smallest aliasing stride wraps past 2^32, so
+        # the stride that fools a 4-bit tag is correctly rejected here.
+        filt = make()
+        narrow = Tssbf(entries=128, assoc=4, tag_bits=4)
+        assert 4 * filt.num_sets * (filt.tag_mask + 1) >= 1 << 32
+        addr = 0x1000
+        alias = addr + 4 * narrow.num_sets * (narrow.tag_mask + 1)
+        filt.store_retire(addr, ssn=5, bab=0xF)
+        assert not filt.load_lookup(alias, 0xF).matched
+
+    def test_aliased_store_inflates_but_never_lowers_ssn(self):
+        # A younger aliasing store raises the SSN a load observes for the
+        # real store's address -- conservative in the re-execution sense.
+        filt = Tssbf(entries=128, assoc=4, tag_bits=4)
+        addr, alias = self.alias_pair(filt)
+        filt.store_retire(addr, ssn=5, bab=0xF)
+        filt.store_retire(alias, ssn=9, bab=0xF)
+        assert filt.load_lookup(addr, 0xF).ssn == 9
+
+    def test_untagged_filter_aliases_by_construction(self):
+        filt = UntaggedSsbf(entries=128)
+        base_index = filt._index(0x1000)
+        alias = next(addr for addr in range(0x2000, 0x40000, 4)
+                     if filt._index(addr) == base_index and addr != 0x1000)
+        filt.store_retire(0x1000, ssn=5, bab=0xF)
+        result = filt.load_lookup(alias, 0xF)
+        assert result.matched and result.ssn == 5
 
 
 class TestInvalidation:
