@@ -15,10 +15,15 @@ Commands
     Reproduce one paper figure/table (see ``list`` for ids).
 ``cache``
     Inspect or clear the persistent result cache.
+``bench-hotloop``
+    Measure simulator hot-loop throughput (cycles/sec per model) and write
+    ``BENCH_hotloop.json``; ``--check`` fails on regression vs. the
+    committed baseline.
 
 Global flags: ``--jobs N`` fans simulation points out over N worker
 processes; ``--no-cache`` disables the persistent result cache (location:
-``$REPRO_CACHE_DIR``, default ``.repro-cache``).
+``$REPRO_CACHE_DIR``, default ``.repro-cache``); ``--profile`` runs the
+command under cProfile and prints the top-25 cumulative report.
 """
 
 from __future__ import annotations
@@ -27,7 +32,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from .harness import ExperimentRunner, ResultCache, SimPoint
+from .harness import ExperimentRunner, ResultCache, SimPoint, hotloop
 from .harness.experiments import ALL_EXPERIMENTS
 from .harness.reporting import format_run_report, format_table
 from .uarch import ALL_MODELS, Consistency, ModelKind
@@ -74,6 +79,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the persistent result cache "
                              "($REPRO_CACHE_DIR, default .repro-cache)")
+    parser.add_argument("--profile", action="store_true",
+                        help="run the command under cProfile and print the "
+                             "top-25 cumulative report")
+    parser.add_argument("--profile-output", default=None, metavar="PATH",
+                        help="with --profile: dump raw cProfile stats to "
+                             "PATH (default: repro.prof)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list workloads and experiments")
@@ -103,6 +114,28 @@ def build_parser() -> argparse.ArgumentParser:
                            help="inspect or clear the persistent "
                                 "result cache")
     cache.add_argument("action", choices=("info", "clear"))
+
+    bench = sub.add_parser("bench-hotloop",
+                           help="measure simulator hot-loop throughput "
+                                "(cycles/sec per model)")
+    bench.add_argument("--smoke", action="store_true",
+                       help="quarter-scale run for CI")
+    bench.add_argument("--check", action="store_true",
+                       help="exit non-zero when throughput regresses >%d%% "
+                            "vs. the committed baseline"
+                            % round(100 * (1 - hotloop.REGRESSION_THRESHOLD)))
+    bench.add_argument("--repeats", type=int, default=1,
+                       help="best-of-N timing per point (default: 1)")
+    bench.add_argument("--output", default="BENCH_hotloop.json",
+                       metavar="PATH", help="report path "
+                                            "(default: BENCH_hotloop.json)")
+    bench.add_argument("--baseline", default=None, metavar="PATH",
+                       help="baseline file (default: benchmarks/results/"
+                            "BENCH_hotloop_baseline.json)")
+    bench.add_argument("--update-baseline", default=None,
+                       choices=("before", "after"),
+                       help="record this run as the committed "
+                            "before/after reference")
     return parser
 
 
@@ -216,6 +249,33 @@ def cmd_cache(args, out) -> int:
     return 0
 
 
+def cmd_bench_hotloop(args, out) -> int:
+    payload = hotloop.run_benchmark(
+        smoke=args.smoke, repeats=args.repeats,
+        progress=lambda line: print(line, file=out))
+    if args.update_baseline:
+        path = hotloop.update_baseline(payload, args.update_baseline,
+                                       args.baseline)
+        print("recorded %r reference in %s" % (args.update_baseline, path),
+              file=out)
+    baseline = hotloop.load_baseline(args.baseline)
+    hotloop.attach_baseline(payload, baseline, check=args.check)
+    path = hotloop.write_report(payload, args.output)
+    print("report written to %s" % path, file=out)
+    for name, entry in sorted(payload["models"].items()):
+        speedup = (payload.get("speedup_vs_before") or {}).get(name)
+        print("  %-8s %10.0f cycles/sec%s"
+              % (name, entry["cycles_per_sec"],
+                 "  (%.2fx vs before)" % speedup if speedup else ""),
+              file=out)
+    check = payload["check"]
+    if check.get("enabled") and not check.get("passed", True):
+        print("REGRESSION: hot-loop throughput below %.0f%% of the "
+              "committed baseline" % (100 * check["threshold"]), file=out)
+        return 1
+    return 0
+
+
 COMMANDS = {
     "list": cmd_list,
     "compare": cmd_compare,
@@ -223,13 +283,30 @@ COMMANDS = {
     "suite": cmd_suite,
     "experiment": cmd_experiment,
     "cache": cmd_cache,
+    "bench-hotloop": cmd_bench_hotloop,
 }
 
 
 def main(argv: Optional[List[str]] = None, out=None) -> int:
     args = build_parser().parse_args(argv)
-    return COMMANDS[args.command](args, out if out is not None
-                                  else sys.stdout)
+    command = COMMANDS[args.command]
+    out = out if out is not None else sys.stdout
+    if getattr(args, "profile", False):
+        import cProfile
+        import pstats
+        profile = cProfile.Profile()
+        profile.enable()
+        try:
+            rc = command(args, out)
+        finally:
+            profile.disable()
+            report = pstats.Stats(profile, stream=out)
+            report.sort_stats("cumulative").print_stats(25)
+            dump = args.profile_output or "repro.prof"
+            report.dump_stats(dump)
+            print("raw profile written to %s" % dump, file=out)
+        return rc
+    return command(args, out)
 
 
 if __name__ == "__main__":  # pragma: no cover

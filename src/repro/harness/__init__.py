@@ -7,7 +7,7 @@ from .runner import ExperimentRunner, SimResult, shared_runner
 from .reporting import (format_point_log, format_run_report, format_table,
                         geomean, percent, shape_check, speedup)
 from .experiments import ALL_EXPERIMENTS, ExperimentResult
-from . import paper_data
+from . import hotloop, paper_data
 
 __all__ = [
     "ExperimentRunner", "SimResult", "shared_runner",
@@ -15,5 +15,5 @@ __all__ = [
     "BatchTiming", "ParallelEngine", "PointTiming", "SimPoint", "make_point",
     "format_point_log", "format_run_report",
     "format_table", "geomean", "percent", "shape_check", "speedup",
-    "ALL_EXPERIMENTS", "ExperimentResult", "paper_data",
+    "ALL_EXPERIMENTS", "ExperimentResult", "hotloop", "paper_data",
 ]

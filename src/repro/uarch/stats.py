@@ -8,6 +8,7 @@ performance simulator in the paper's methodology).
 
 from __future__ import annotations
 
+import dataclasses
 import enum
 from collections import Counter
 from dataclasses import dataclass, field
@@ -139,6 +140,30 @@ class SimStats:
         if not count:
             return None
         return self.load_exec_time.get(kind, 0) / count
+
+    def to_dict(self) -> Dict[str, object]:
+        """Complete, JSON-stable image of every counter.
+
+        Counter-valued fields become sorted ``{str: int}`` maps with zero
+        entries dropped, so two semantically equal stats objects always
+        serialise identically.  The golden-stats equivalence suite pins
+        these dicts and asserts byte-identical simulator behaviour across
+        performance work on the hot loop.
+        """
+        out: Dict[str, object] = {}
+        for f in dataclasses.fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, Counter):
+                items = {}
+                for key, count in value.items():
+                    if not count:
+                        continue
+                    name = key.value if isinstance(key, enum.Enum) else str(key)
+                    items[name] = count
+                out[f.name] = dict(sorted(items.items()))
+            else:
+                out[f.name] = value
+        return out
 
     def summary(self) -> Dict[str, float]:
         return {

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Pin golden SimStats for the golden-stats equivalence suite.
+
+Runs the simulator directly (no result cache, no harness memo) for every
+model kind over a small deterministic workload sample and writes the full
+``SimStats.to_dict()`` image of each point to
+``tests/golden/golden_stats.json``.
+
+The pinned file is generated ONCE, from the pre-optimisation simulator, at
+the start of a performance PR; the equivalence tests then hold every
+optimisation to byte-identical statistics.  Regenerate only when a change
+is *meant* to alter simulation results (and say so in the commit):
+
+    PYTHONPATH=src python tools/gen_golden_stats.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.kernel import FunctionalCpu                      # noqa: E402
+from repro.uarch import ModelKind, model_params             # noqa: E402
+from repro.uarch.pipeline import Simulator                  # noqa: E402
+from repro.workloads import get_workload                    # noqa: E402
+
+# Deterministic sample: branchy/busy (perl), memory-bound with occasional
+# collisions (mcf), and high-IPC compute (lib) -- together they exercise
+# fetch stalls, long idle spans, squashes, and every load-handling path.
+GOLDEN_WORKLOADS = ("perl", "mcf", "lib")
+
+OUTPUT = REPO / "tests" / "golden" / "golden_stats.json"
+
+
+def build_payload() -> dict:
+    payload = {"schema": 1, "workloads": {}, "points": {}}
+    for name in GOLDEN_WORKLOADS:
+        spec = get_workload(name)
+        iterations = spec.default_scale
+        program = spec.build(iterations)
+        trace = FunctionalCpu(program).run_trace(max_instructions=5_000_000)
+        payload["workloads"][name] = {
+            "iterations": iterations,
+            "trace_length": len(trace),
+        }
+        for model in ModelKind:
+            stats = Simulator(program, trace, model_params(model)).run()
+            payload["points"]["%s/%s" % (name, model.value)] = stats.to_dict()
+            print("pinned %-8s %-8s cycles=%d"
+                  % (name, model.value, stats.cycles))
+    return payload
+
+
+def main() -> int:
+    payload = build_payload()
+    OUTPUT.parent.mkdir(parents=True, exist_ok=True)
+    with open(OUTPUT, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    print("wrote %s (%d points)" % (OUTPUT, len(payload["points"])))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

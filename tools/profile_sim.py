@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Profile the simulator hot loop with cProfile.
+
+Builds one workload trace (excluded from the profile), runs
+``Simulator.run()`` under cProfile, prints the top functions by cumulative
+time, and optionally dumps the raw profile for ``snakeviz``/``pstats``:
+
+    PYTHONPATH=src python tools/profile_sim.py mcf --model dmdp --top 25
+    PYTHONPATH=src python tools/profile_sim.py lbm --output lbm.prof
+
+The same profile can be captured for any CLI command with the global
+``repro --profile`` flag.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.kernel import FunctionalCpu                      # noqa: E402
+from repro.uarch import ModelKind, model_params             # noqa: E402
+from repro.uarch.pipeline import Simulator                  # noqa: E402
+from repro.workloads import ALL_NAMES, get_workload         # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="cProfile harness for Simulator.run()")
+    parser.add_argument("workload", choices=ALL_NAMES, nargs="?",
+                        default="mcf")
+    parser.add_argument("--model", default="dmdp",
+                        choices=[m.value for m in ModelKind])
+    parser.add_argument("--scale", type=float, default=None,
+                        help="workload scale factor (default: full)")
+    parser.add_argument("--top", type=int, default=25,
+                        help="rows of the cumulative-time report")
+    parser.add_argument("--sort", default="cumulative",
+                        choices=("cumulative", "tottime", "ncalls"))
+    parser.add_argument("--output", default=None, metavar="PATH",
+                        help="dump the raw cProfile stats to PATH")
+    args = parser.parse_args(argv)
+
+    spec = get_workload(args.workload)
+    iterations = spec.default_scale
+    if args.scale is not None:
+        iterations = max(1, int(round(iterations * args.scale)))
+    program = spec.build(iterations)
+    trace = FunctionalCpu(program).run_trace(max_instructions=5_000_000)
+    params = model_params(ModelKind(args.model))
+    sim = Simulator(program, trace, params)
+
+    profile = cProfile.Profile()
+    start = time.perf_counter()
+    profile.enable()
+    stats = sim.run()
+    profile.disable()
+    elapsed = time.perf_counter() - start
+
+    print("%s/%s: %d instructions, %d cycles in %.3fs (%.0f cycles/sec)"
+          % (args.workload, args.model, stats.instructions, stats.cycles,
+             elapsed, stats.cycles / elapsed))
+    report = pstats.Stats(profile)
+    report.sort_stats(args.sort).print_stats(args.top)
+    if args.output:
+        report.dump_stats(args.output)
+        print("raw profile written to %s" % args.output)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
