@@ -121,9 +121,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--smoke", action="store_true",
                        help="quarter-scale run for CI")
     bench.add_argument("--check", action="store_true",
-                       help="exit non-zero when throughput regresses >%d%% "
-                            "vs. the committed baseline"
-                            % round(100 * (1 - hotloop.REGRESSION_THRESHOLD)))
+                       help="exit non-zero when throughput regresses >"
+                            + str(round(100 * (1 -
+                                               hotloop.REGRESSION_THRESHOLD)))
+                            + "%% vs. the committed baseline")
     bench.add_argument("--repeats", type=int, default=1,
                        help="best-of-N timing per point (default: 1)")
     bench.add_argument("--output", default="BENCH_hotloop.json",

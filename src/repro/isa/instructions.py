@@ -19,6 +19,11 @@ from .registers import register_name
 class FuClass(enum.Enum):
     """Functional-unit class an operation executes on."""
 
+    # Enum equality is identity; the default value-based __hash__ is a
+    # Python-level call that dominates hot dict/set lookups in the timing
+    # simulator, so use identity hashing (a C slot) instead.
+    __hash__ = object.__hash__
+
     ALU = "alu"          # 1-cycle integer ops
     MUL = "mul"          # integer multiply/divide
     FP = "fp"            # long-latency "floating point" marked ops
@@ -30,6 +35,10 @@ class FuClass(enum.Enum):
 
 class Opcode(enum.Enum):
     """Every opcode, architectural and MicroOp-only."""
+
+    # Identity hashing: LOAD_OPS/STORE_OPS membership tests are hot in the
+    # timing simulator (see FuClass).
+    __hash__ = object.__hash__
 
     # R-type ALU.
     ADD = enum.auto()

@@ -70,6 +70,12 @@ class SparseMemory:
         """Write ``size`` low-order bytes of ``value`` at ``address``."""
         if address % size:
             raise MemoryError_("misaligned %d-byte write at 0x%x" % (size, address))
+        if size == 4:
+            # Word-aligned words never straddle a page: one slice store
+            # instead of four write_byte calls.
+            page, offset = self._page_for(address)
+            page[offset:offset + 4] = (value & 0xFFFFFFFF).to_bytes(4, "little")
+            return
         mask = (1 << (8 * size)) - 1
         self.write_bytes(address, (value & mask).to_bytes(size, "little"))
 

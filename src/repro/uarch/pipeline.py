@@ -202,16 +202,38 @@ class Simulator:
         self._mispredicted = self._precompute_branch_outcomes()
         self._history = self._precompute_history()
 
-        # Per-static-instruction decode cache and fast energy counter.
+        # Per-static-instruction decode cache (one shared template per
+        # static instruction), also indexable by trace position so the hot
+        # rename/crack path is a single list lookup.  Fast energy counter.
         self._dec: Dict[int, _Decoded] = {}
         for entry in trace:
             key = id(entry.instr)
             if key not in self._dec:
                 self._dec[key] = _Decoded(entry.instr, params)
+        self._dec_by_index: List[_Decoded] = [
+            self._dec[id(entry.instr)] for entry in trace]
         self._ee = self.stats.energy_events
 
+        # Per-cycle issue budget template; building this dict from enum
+        # keys every cycle dominated the issue stage, a copy is cheap.
+        self._fu_budget_template: Dict[FuClass, int] = {
+            FuClass.ALU: params.alu_units,
+            FuClass.MUL: params.mul_units,
+            FuClass.FP: params.fp_units,
+            FuClass.BRANCH: params.branch_units,
+            FuClass.AGEN: params.agen_units,
+            FuClass.MEM: params.load_ports,
+            FuClass.NONE: params.alu_units,
+        }
+
+        # Event-driven cycle-skipping state (see run()): what the retire
+        # stage stalled on this cycle and when it can next make progress.
+        self._retire_stall: Optional[str] = None
+        self._retire_wake: Optional[int] = None
+        # Committed/dead entries lazily pruned from baseline_stores.
+        self._baseline_stale = 0
+
         self.cycle = 0
-        self._retire_stall_this_cycle = False
         # Optional per-cycle callback (e.g. external invalidation traffic
         # for the Section IV-F consistency experiments).
         self.tick_hook = None
@@ -260,24 +282,139 @@ class Simulator:
 
     def run(self, max_cycles: int = 200_000_000) -> SimStats:
         total = len(self.trace)
+        stats = self.stats
+        sb = self.sb
+        commit_stores = self._commit_stores
+        writeback = self._writeback
+        retire = self._retire
+        issue = self._issue
+        rename = self._rename
+        fetch = self._fetch
         while (self.fetch_index < total or self.rob or self.fetch_buffer
-               or not self.sb.is_empty):
+               or not sb.is_empty):
             if self.cycle > max_cycles:
                 raise SimulationError("cycle cap reached; likely deadlock at "
                                       "trace index %d" % (self.rob[0].rob_id
                                                           if self.rob else -1))
             if self.tick_hook is not None:
                 self.tick_hook(self)
-            self._commit_stores()
-            self._writeback()
-            self._retire()
-            self._issue()
-            self._rename()
-            self._fetch()
-            self.cycle += 1
-        self.stats.cycles = self.cycle
-        self.stats.instructions = total
-        return self.stats
+            # Each stage is a statistics-free no-op when its input structure
+            # is empty; the guards keep idle stages off the per-cycle path.
+            if sb.entries:
+                commit_stores()
+            if self.event_heap:
+                writeback()
+            if self.rob:
+                retire()
+            else:
+                self._retire_stall = None
+                self._retire_wake = None
+            if self.ready_heap or self.blocked_loads:
+                issue()
+            if self.fetch_buffer:
+                rename()
+            fetch()
+            # Event-driven cycle skipping: when no stage can do anything
+            # before the next deadline (writeback event, store-buffer
+            # event, retire wake, rename/fetch availability), jump there
+            # directly.  A non-empty ready heap means issue has work next
+            # cycle, and an external tick hook must observe every cycle.
+            if self.tick_hook is None and not self.ready_heap:
+                wake = self._next_wake_cycle()
+                if wake > max_cycles + 1:
+                    wake = max_cycles + 1  # keep the cycle-cap path exact
+                skipped = wake - self.cycle - 1
+                if skipped > 0:
+                    # Each elided cycle would have re-evaluated the same
+                    # retire stall and bumped its counter exactly once.
+                    if self._retire_stall == "reexec":
+                        stats.reexec_stall_cycles += skipped
+                    elif self._retire_stall == "sb_full":
+                        stats.sb_full_stall_cycles += skipped
+                self.cycle = wake
+            else:
+                self.cycle += 1
+        stats.cycles = self.cycle
+        stats.instructions = total
+        return stats
+
+    # -- event-driven cycle skipping ---------------------------------------
+
+    def _next_wake_cycle(self) -> int:
+        """Earliest future cycle at which any stage can make progress.
+
+        Safe because every state change in an idle span is event-driven:
+        execution completions come off ``event_heap``, store-buffer
+        activity off :meth:`StoreBuffer.next_event_cycle`, retire stalls
+        record their own wake cycle, blocked loads unblock only on those
+        same events, and the front end advances only at availability
+        cycles computed here.  A span with no deadline therefore touches
+        no state and no statistics except the retire-stall counters the
+        caller accounts for.
+        """
+        cycle = self.cycle
+        wake: Optional[int] = None
+        heap = self.event_heap
+        while heap and heap[0][2].dead:
+            # Squashed completions are behaviour-free; drop them so a dead
+            # tail cannot hold the wake horizon (or the final cycle) back.
+            heapq.heappop(heap)
+        if heap:
+            wake = heap[0][0]
+        if self.sb.entries:
+            sb_wake = self.sb.next_event_cycle(cycle)
+            if sb_wake is not None and (wake is None or sb_wake < wake):
+                wake = sb_wake
+        retire_wake = self._retire_wake
+        if retire_wake is not None and (wake is None or retire_wake < wake):
+            wake = retire_wake
+        rename_wake = self._rename_wake()
+        if rename_wake is not None and (wake is None or rename_wake < wake):
+            wake = rename_wake
+        fetch_wake = self._fetch_wake()
+        if fetch_wake is not None and (wake is None or fetch_wake < wake):
+            wake = fetch_wake
+        if wake is None or wake <= cycle:
+            # No deadline at all: advance one cycle at a time so genuine
+            # deadlocks still spin into the max_cycles diagnostic.
+            return cycle + 1
+        return wake
+
+    def _rename_wake(self) -> Optional[int]:
+        """When can rename next do work?  ``None`` means only after an
+        already-tracked event: ROB/IQ/register space frees exclusively
+        through the event-driven retire, commit, and issue paths."""
+        buffer = self.fetch_buffer
+        if not buffer:
+            return None
+        avail, index = buffer[0]
+        if avail > self.cycle + 1:
+            return avail
+        if len(self.rob) >= self.params.rob_entries:
+            return None
+        dec = self._dec_by_index[index]
+        if self.iq_occupancy + dec.uop_estimate > self.params.iq_entries:
+            return None
+        if self.prf.free_count < dec.uop_estimate + 1:
+            return None
+        if (self.model is ModelKind.BASELINE and dec.is_mem
+                and self.prf.free_aux_count < 2):
+            return None
+        return self.cycle + 1
+
+    def _fetch_wake(self) -> Optional[int]:
+        """When can fetch next do work?  ``None`` means blocked on an event
+        (branch resolution, buffer drain) or permanently out of trace."""
+        if (self.pending_branch is not None
+                or self._pending_branch_index is not None):
+            return None
+        if self.fetch_index >= len(self.trace):
+            return None
+        if len(self.fetch_buffer) >= 2 * self.params.fetch_width:
+            return None
+        blocked = self.fetch_blocked_until
+        next_cycle = self.cycle + 1
+        return blocked if blocked > next_cycle else next_cycle
 
     # ------------------------------------------------------------------
     # Stage: store commit (store buffer drain).
@@ -297,8 +434,16 @@ class Simulator:
                     for preg in instr.store.holds:
                         self.prf.dec_consumer(preg)
                     instr.store.holds = []
-                    if instr in self.baseline_stores:
-                        self.baseline_stores.remove(instr)
+                    if self.baseline_stores:
+                        # Lazily pruned: the SQ search skips committed
+                        # entries, compact once half the list is stale.
+                        self._baseline_stale += 1
+                        if (self._baseline_stale * 2
+                                > len(self.baseline_stores)):
+                            self.baseline_stores = [
+                                s for s in self.baseline_stores
+                                if not s.dead and not s.store.committed]
+                            self._baseline_stale = 0
             for ssn in entry.ssns:
                 self.srb.invalidate(ssn)
                 self.ssn.on_commit(ssn)
@@ -309,11 +454,15 @@ class Simulator:
 
     def _writeback(self) -> None:
         heap = self.event_heap
-        while heap and heap[0][0] <= self.cycle:
-            _, _, uop = heapq.heappop(heap)
+        cycle = self.cycle
+        pop = heapq.heappop
+        done = UopState.DONE
+        while heap and heap[0][0] <= cycle:
+            uop = pop(heap)[2]
             if uop.dead:
                 continue
-            uop.state = UopState.DONE
+            uop.state = done
+            uop.instr.pending_uops -= 1
             self._complete_uop(uop)
 
     def _complete_uop(self, uop: Uop) -> None:
@@ -353,13 +502,17 @@ class Simulator:
 
     def _set_preg_ready(self, preg: int, cycle: int) -> None:
         self.prf.set_ready(preg, cycle)
-        for waiter in self.waiters.pop(preg, []):
+        waiting = self.waiters.pop(preg, None)
+        if waiting is None:
+            return
+        ready_heap = self.ready_heap
+        for waiter in waiting:
             if waiter.dead:
                 continue
             waiter.remaining_srcs -= 1
             if waiter.remaining_srcs == 0 and waiter.state is UopState.WAITING:
                 waiter.state = UopState.READY
-                heapq.heappush(self.ready_heap, (waiter.seq, waiter))
+                heapq.heappush(ready_heap, (waiter.seq, waiter))
 
     def _complete_load_access(self, uop: Uop) -> None:
         """A cache access returned data: sample value and SSN_commit."""
@@ -382,7 +535,7 @@ class Simulator:
             li.obtained_value = _extract_forward(dep, instr.trace)
             li.value_from_store = True
         else:
-            li.obtained_value = getattr(li, "cache_value", None)
+            li.obtained_value = li.cache_value
             li.value_from_store = False
 
     # ------------------------------------------------------------------
@@ -390,69 +543,94 @@ class Simulator:
     # ------------------------------------------------------------------
 
     def _retire(self) -> None:
+        self._retire_stall = None
+        self._retire_wake = None
         budget = self.params.retire_width
-        while budget > 0 and self.rob:
-            head = self.rob[0]
-            if not head.uops_done():
+        rob = self.rob
+        prf = self.prf
+        stats = self.stats
+        cycle = self.cycle
+        retired_any = False
+        while budget > 0 and rob:
+            head = rob[0]
+            if head.pending_uops:
                 break
-            if head.result_preg is not None and not self.prf.is_ready(
-                    head.result_preg, self.cycle):
+            result_preg = head.result_preg
+            if result_preg is not None and not prf.is_ready(result_preg,
+                                                            cycle):
                 break
 
-            if head.is_load:
+            dec = head.dec
+            if dec.is_load:
                 status = self._verify_load(head)
                 if status == "wait":
-                    self.stats.reexec_stall_cycles += 1
+                    stats.reexec_stall_cycles += 1
+                    self._retire_stall = "reexec"
+                    li = head.load
+                    if li.reexec_scheduled and li.reexec_done_cycle > cycle:
+                        self._retire_wake = li.reexec_done_cycle
+                    # else: waiting on the store buffer to drain, whose
+                    # deadline already feeds _next_wake_cycle.
                     break
                 violation = status == "violation"
             else:
                 violation = False
 
-            if head.is_store:
+            if dec.is_store:
                 if not self._retire_store(head):
-                    self.stats.sb_full_stall_cycles += 1
+                    stats.sb_full_stall_cycles += 1
+                    self._retire_stall = "sb_full"
                     break
 
             self._retire_bookkeeping(head)
-            self.rob.popleft()
+            rob.popleft()
             budget -= 1
+            retired_any = True
 
             if violation:
-                self.stats.dep_mispredictions += 1
+                stats.dep_mispredictions += 1
                 self._squash_younger(head)
                 break
+        if retired_any:
+            # Progress frees ROB entries and registers and may unblock any
+            # stage: never skip past the very next cycle.
+            self._retire_wake = cycle + 1
 
     def _retire_bookkeeping(self, instr: DynInstr) -> None:
         instr.retired = True
         self._ee["rob_entry"] += 1
-        te = instr.trace
+        dec = instr.dec
+        stats = self.stats
+        prf = self.prf
         if self.arch_regs is not None:
             self._arch_update(instr)
-        if self._dec[id(te.instr)].is_control:
-            self.stats.branches += 1
+        if dec.is_control:
+            stats.branches += 1
             if instr.mispredicted_branch:
-                self.stats.branch_mispredicts += 1
+                stats.branch_mispredicts += 1
         # Rename-map commit + virtual release (paper Fig. 9).
+        committed_map = self.committed_map
+        dec_producer = prf.dec_producer
         for logical, new_preg, prev_preg in instr.renames:  # type: ignore
-            self.committed_map[logical] = new_preg
-            self.prf.dec_producer(prev_preg)
+            committed_map[logical] = new_preg
+            dec_producer(prev_preg)
         # Release verification holds.
-        if instr.load is not None:
-            for preg in instr.load.holds:
-                self.prf.dec_consumer(preg)
-            instr.load.holds = []
+        li = instr.load
+        if li is not None:
+            for preg in li.holds:
+                prf.dec_consumer(preg)
+            li.holds = []
         # Execution-time statistics.
-        ready = instr.result_ready_cycle(self.prf)
+        ready = instr.result_ready_cycle(prf)
         exec_time = max(0, (ready if ready is not None else instr.rename_cycle)
                         - instr.rename_cycle)
-        self.stats.insn_exec_time_total += exec_time
-        if instr.is_load:
-            li = instr.load
-            self.stats.record_load(li.mode, exec_time, li.low_confidence)
+        stats.insn_exec_time_total += exec_time
+        if dec.is_load:
+            stats.record_load(li.mode, exec_time, li.low_confidence)
             if li.low_confidence:
                 self._classify_lowconf(instr)
-        if instr.is_store:
-            self.stats.stores += 1
+        if dec.is_store:
+            stats.stores += 1
 
     def _classify_lowconf(self, instr: DynInstr) -> None:
         """Paper Fig. 5: outcome of a low-confidence dependence prediction."""
@@ -648,11 +826,18 @@ class Simulator:
                 uop.dead = True
             if instr.is_store and instr.store is not None:
                 self.inflight_store_by_id.pop(instr.rob_id, None)
-                if instr in self.baseline_stores:
-                    self.baseline_stores.remove(instr)
         self.rob.clear()
         self.iq_occupancy = 0
-        self.blocked_loads = [u for u in self.blocked_loads if not u.dead]
+        # Every blocked load belongs to a (now dead) ROB entry: the
+        # violating head's own access already completed.
+        self.blocked_loads.clear()
+        if self.baseline_stores:
+            # One pass drops the squashed entries and compacts any
+            # lazily-pruned committed ones.
+            self.baseline_stores = [
+                s for s in self.baseline_stores
+                if not s.dead and not s.store.committed]
+            self._baseline_stale = 0
         self.fetch_buffer.clear()
         self.pending_branch = None
         self._pending_branch_index = None
@@ -666,7 +851,7 @@ class Simulator:
         # registers held by retired-but-uncommitted stores.
         live_producers = Counter(self.committed_map)
         live_consumers = Counter()
-        for instr in list(self.inflight_store_by_id.values()):
+        for instr in self.inflight_store_by_id.values():
             if instr.store is not None:
                 for preg in instr.store.holds:
                     live_consumers[preg] += 1
@@ -686,21 +871,18 @@ class Simulator:
     # ------------------------------------------------------------------
 
     def _fu_budget(self) -> Dict[FuClass, int]:
-        p = self.params
-        return {
-            FuClass.ALU: p.alu_units,
-            FuClass.MUL: p.mul_units,
-            FuClass.FP: p.fp_units,
-            FuClass.BRANCH: p.branch_units,
-            FuClass.AGEN: p.agen_units,
-            FuClass.MEM: p.load_ports,
-            FuClass.NONE: p.alu_units,
-        }
+        return dict(self._fu_budget_template)
 
     def _issue(self) -> None:
         budget = self.params.issue_width
-        fu_budget = self._fu_budget()
+        fu_budget = dict(self._fu_budget_template)
         store_ports = self.params.store_ports
+        ready_heap = self.ready_heap
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        ready_state = UopState.READY
+        store_kind = UopKind.STORE
+        load_kind = UopKind.LOAD
 
         # Re-check previously blocked loads.
         if self.blocked_loads:
@@ -711,27 +893,28 @@ class Simulator:
                 if self._load_issue_blocked(uop):
                     still_blocked.append(uop)
                 else:
-                    heapq.heappush(self.ready_heap, (uop.seq, uop))
+                    heappush(ready_heap, (uop.seq, uop))
             self.blocked_loads = still_blocked
 
         deferred: List[Tuple[int, Uop]] = []
-        while budget > 0 and self.ready_heap:
-            seq, uop = heapq.heappop(self.ready_heap)
-            if uop.dead or uop.state is not UopState.READY:
+        while budget > 0 and ready_heap:
+            seq, uop = heappop(ready_heap)
+            if uop.dead or uop.state is not ready_state:
                 continue
             fu = uop.fu
-            if uop.kind is UopKind.STORE:
+            kind = uop.kind
+            if kind is store_kind:
                 if store_ports <= 0:
                     deferred.append((seq, uop))
                     continue
-            elif fu_budget.get(fu, 0) <= 0:
+            elif fu_budget[fu] <= 0:
                 deferred.append((seq, uop))
                 continue
-            if uop.kind is UopKind.LOAD and self._load_issue_blocked(uop):
+            if kind is load_kind and self._load_issue_blocked(uop):
                 self.blocked_loads.append(uop)
                 continue
 
-            if uop.kind is UopKind.STORE:
+            if kind is store_kind:
                 store_ports -= 1
             else:
                 fu_budget[fu] -= 1
@@ -739,7 +922,7 @@ class Simulator:
             self._start_execution(uop)
 
         for item in deferred:
-            heapq.heappush(self.ready_heap, item)
+            heappush(ready_heap, item)
 
     def _load_issue_blocked(self, uop: Uop) -> bool:
         """Model-specific conditions beyond register readiness."""
@@ -752,7 +935,7 @@ class Simulator:
             return self.ssn.commit < li.ssn_byp
         if self.model is ModelKind.BASELINE:
             # Store-set ordering: wait for the flagged store to execute.
-            wait_id = getattr(li, "storeset_wait", None)
+            wait_id = li.storeset_wait
             if wait_id is not None:
                 store = self.inflight_store_by_id.get(wait_id)
                 if (store is not None and not store.dead
@@ -761,7 +944,7 @@ class Simulator:
                         and not store.store.retired):
                     return True
             # Forward-stall: waiting for a partially-overlapping store.
-            block = getattr(li, "forward_block", None)
+            block = li.forward_block
             if block is not None:
                 if block in self.inflight_store_by_id:
                     return True
@@ -848,28 +1031,34 @@ class Simulator:
     # ------------------------------------------------------------------
 
     def _rename(self) -> None:
-        budget = self.params.rename_width
-        while budget > 0 and self.fetch_buffer:
-            avail, index = self.fetch_buffer[0]
-            if avail > self.cycle:
+        params = self.params
+        budget = params.rename_width
+        fetch_buffer = self.fetch_buffer
+        rob = self.rob
+        trace = self.trace
+        dec_by_index = self._dec_by_index
+        prf = self.prf
+        cycle = self.cycle
+        baseline = self.model is ModelKind.BASELINE
+        while budget > 0 and fetch_buffer:
+            avail, index = fetch_buffer[0]
+            if avail > cycle:
                 break
-            if len(self.rob) >= self.params.rob_entries:
+            if len(rob) >= params.rob_entries:
                 break
-            te = self.trace[index]
-            uop_count = self._dec[id(te.instr)].uop_estimate
-            if uop_count > budget and budget < self.params.rename_width:
+            dec = dec_by_index[index]
+            uop_count = dec.uop_estimate
+            if uop_count > budget and budget < params.rename_width:
                 break  # does not fit in what is left of this cycle
-            if self.iq_occupancy + uop_count > self.params.iq_entries:
+            if self.iq_occupancy + uop_count > params.iq_entries:
                 break
-            if self.prf.free_count < uop_count + 1:
+            if prf.free_count < uop_count + 1:
                 break  # conservative free-register check
-            if (self.model is ModelKind.BASELINE
-                    and self._dec[id(te.instr)].is_mem
-                    and self.prf.free_aux_count < 2):
+            if baseline and dec.is_mem and prf.free_aux_count < 2:
                 break
-            self.fetch_buffer.popleft()
-            instr = self._crack_and_rename(te)
-            self.rob.append(instr)
+            fetch_buffer.popleft()
+            instr = self._crack_and_rename(trace[index], dec)
+            rob.append(instr)
             budget -= len(instr.uops) if instr.uops else 1
 
     # -- rename plumbing -----------------------------------------------------
@@ -881,19 +1070,29 @@ class Simulator:
                   srcs=srcs, dest=dest, prev_preg=None, instr=instr)
         self.uop_seq += 1
         instr.uops.append(uop)
+        instr.pending_uops += 1
         self.stats.uops += 1
-        self._ee["rename"] += 1
-        self._ee["iq_dispatch"] += 1
+        ee = self._ee
+        ee["rename"] += 1
+        ee["iq_dispatch"] += 1
         self.iq_occupancy += 1
         # Source readiness / wakeup registration.
         ready_cycle = self.prf.ready_cycle
         cycle = self.cycle
+        waiters = self.waiters
+        remaining = 0
         for src in srcs:
             ready = ready_cycle[src]
             if ready is None or ready > cycle:
-                self.waiters.setdefault(src, []).append(uop)
-                uop.remaining_srcs += 1
-        if uop.remaining_srcs == 0:
+                queue = waiters.get(src)
+                if queue is None:
+                    waiters[src] = [uop]
+                else:
+                    queue.append(uop)
+                remaining += 1
+        if remaining:
+            uop.remaining_srcs = remaining
+        else:
             uop.state = UopState.READY
             heapq.heappush(self.ready_heap, (uop.seq, uop))
         return uop
@@ -923,39 +1122,46 @@ class Simulator:
 
     # -- cracking -----------------------------------------------------------------
 
-    def _crack_and_rename(self, te: TraceEntry) -> DynInstr:
+    def _crack_and_rename(self, te: TraceEntry,
+                          dec: Optional[_Decoded] = None) -> DynInstr:
         instr = DynInstr(rob_id=te.index, trace=te,
                          rename_cycle=self.cycle)
         self.rename_cycle_of[te.index] = self.cycle
-        dec = self._dec[id(te.instr)]
+        if dec is None:
+            dec = self._dec_by_index[te.index]
+        instr.dec = dec
 
         if dec.is_load:
-            self._crack_load(instr)
+            self._crack_load(instr, dec)
         elif dec.is_store:
-            self._crack_store(instr)
-        elif dec.is_control:
-            rename_map = self.rename_map
-            srcs = tuple(rename_map[r] for r in dec.src_regs)
-            dest = None
-            if dec.dest_reg is not None:
-                dest = self._rename_dest(instr, dec.dest_reg)
-                instr.result_preg = dest
-            self._new_uop(instr, UopKind.BRANCH, FuClass.BRANCH,
-                          dec.latency, srcs, dest)
-            instr.mispredicted_branch = self._mispredicted[te.index]
-            if self._pending_branch_index == te.index:
-                self.pending_branch = instr
-                self._pending_branch_index = None
-            self._ee["bpred_access"] += 1
+            self._crack_store(instr, dec)
         else:
             rename_map = self.rename_map
-            srcs = tuple(rename_map[r] for r in dec.src_regs)
+            src_regs = dec.src_regs
+            n_srcs = len(src_regs)
+            if n_srcs == 1:
+                srcs = (rename_map[src_regs[0]],)
+            elif n_srcs == 2:
+                srcs = (rename_map[src_regs[0]], rename_map[src_regs[1]])
+            elif n_srcs == 0:
+                srcs = ()
+            else:
+                srcs = tuple(rename_map[r] for r in src_regs)
             dest = None
             if dec.dest_reg is not None:
                 dest = self._rename_dest(instr, dec.dest_reg)
                 instr.result_preg = dest
-            self._new_uop(instr, UopKind.ALU, dec.fu, dec.latency,
-                          srcs, dest)
+            if dec.is_control:
+                self._new_uop(instr, UopKind.BRANCH, FuClass.BRANCH,
+                              dec.latency, srcs, dest)
+                instr.mispredicted_branch = self._mispredicted[te.index]
+                if self._pending_branch_index == te.index:
+                    self.pending_branch = instr
+                    self._pending_branch_index = None
+                self._ee["bpred_access"] += 1
+            else:
+                self._new_uop(instr, UopKind.ALU, dec.fu, dec.latency,
+                              srcs, dest)
         # Consumer counting for every renamed source operand.
         add_consumer = self.prf.add_consumer
         for uop in instr.uops:
@@ -963,20 +1169,19 @@ class Simulator:
                 add_consumer(src)
         return instr
 
-    def _crack_agi(self, instr: DynInstr) -> int:
+    def _crack_agi(self, instr: DynInstr, dec: _Decoded) -> int:
         """The address-generation MicroOp; returns the address register."""
-        base = self._dec[id(instr.trace.instr)].rs
-        srcs = (self.rename_map[base],)
+        srcs = (self.rename_map[dec.rs],)
         addr_preg = self._rename_dest(
             instr, REG_AGI, aux=self.model is ModelKind.BASELINE)
         self._new_uop(instr, UopKind.AGI, FuClass.AGEN,
                       self.params.agen_latency, srcs, addr_preg)
         return addr_preg
 
-    def _crack_store(self, instr: DynInstr) -> None:
+    def _crack_store(self, instr: DynInstr, dec: _Decoded) -> None:
         te = instr.trace
-        addr_preg = self._crack_agi(instr)
-        data_preg = self.rename_map[self._dec[id(te.instr)].rt]
+        addr_preg = self._crack_agi(instr, dec)
+        data_preg = self.rename_map[dec.rt]
         ssn = self.ssn.next_rename()
         si = StoreInfo(ssn=ssn, data_preg=data_preg, addr_preg=addr_preg)
         instr.store = si
@@ -1000,9 +1205,9 @@ class Simulator:
                 self.prf.add_consumer(preg)
                 si.holds.append(preg)
 
-    def _crack_load(self, instr: DynInstr) -> None:
+    def _crack_load(self, instr: DynInstr, dec: _Decoded) -> None:
         te = instr.trace
-        addr_preg = self._crack_agi(instr)
+        addr_preg = self._crack_agi(instr, dec)
         model = self.model
 
         if model is ModelKind.BASELINE:
@@ -1010,14 +1215,14 @@ class Simulator:
             instr.load = li
             li.storeset_wait = self.storesets.load_rename(te.pc)
             self._ee["store_sets_access"] += 1
-            dest = self._rename_dest(instr, self._dec[id(te.instr)].rd)
+            dest = self._rename_dest(instr, dec.rd)
             instr.result_preg = dest
             self._new_uop(instr, UopKind.LOAD, FuClass.MEM, 0,
                           (addr_preg,), dest)
             return
 
         if model is ModelKind.PERFECT:
-            self._crack_load_perfect(instr, addr_preg)
+            self._crack_load_perfect(instr, addr_preg, dec)
             return
 
         # NoSQ / DMDP: consult the store distance predictor at rename.
@@ -1041,7 +1246,7 @@ class Simulator:
         if entry is None:
             # Independent (or the predicted store already committed):
             # direct cache access, verified by SVW at retire.
-            dest = self._rename_dest(instr, self._dec[id(te.instr)].rd)
+            dest = self._rename_dest(instr, dec.rd)
             instr.result_preg = dest
             self._new_uop(instr, UopKind.LOAD, FuClass.MEM, 0,
                           (addr_preg,), dest)
@@ -1053,17 +1258,18 @@ class Simulator:
         # cloaking in DMDP (alignment / sign extension) and are forced to
         # predication regardless of confidence; NoSQ instead inserts a
         # shift&mask fix-up and may still bypass them.
-        if model is ModelKind.DMDP and self._dec[id(te.instr)].is_partial:
-            self._crack_load_predicated(instr, entry, addr_preg,
+        if model is ModelKind.DMDP and dec.is_partial:
+            self._crack_load_predicated(instr, entry, addr_preg, dec,
                                         low_confidence=not high_confidence)
         elif high_confidence:
-            self._crack_load_bypass(instr, entry, addr_preg)
+            self._crack_load_bypass(instr, entry, addr_preg, dec)
         elif model is ModelKind.NOSQ:
-            self._crack_load_delayed(instr, entry, addr_preg)
+            self._crack_load_delayed(instr, entry, addr_preg, dec)
         else:
-            self._crack_load_predicated(instr, entry, addr_preg)
+            self._crack_load_predicated(instr, entry, addr_preg, dec)
 
-    def _crack_load_perfect(self, instr: DynInstr, addr_preg: int) -> None:
+    def _crack_load_perfect(self, instr: DynInstr, addr_preg: int,
+                            dec: _Decoded) -> None:
         te = instr.trace
         li = LoadInfo(mode=LoadKind.DIRECT)
         instr.load = li
@@ -1076,18 +1282,18 @@ class Simulator:
             li.value_from_store = True
             li.obtained_value = te.value
             data_preg = dep_instr.store.data_preg
-            self._rename_dest_shared(instr, self._dec[id(te.instr)].rd,
-                                     data_preg)
+            self._rename_dest_shared(instr, dec.rd, data_preg)
             instr.result_preg = data_preg
             li.holds.append(data_preg)
             self.prf.add_consumer(data_preg)
         else:
-            dest = self._rename_dest(instr, self._dec[id(te.instr)].rd)
+            dest = self._rename_dest(instr, dec.rd)
             instr.result_preg = dest
             self._new_uop(instr, UopKind.LOAD, FuClass.MEM, 0,
                           (addr_preg,), dest)
 
-    def _crack_load_bypass(self, instr: DynInstr, entry, addr_preg: int) -> None:
+    def _crack_load_bypass(self, instr: DynInstr, entry, addr_preg: int,
+                           dec: _Decoded) -> None:
         """Memory cloaking (paper Fig. 7(c))."""
         te = instr.trace
         li = instr.load
@@ -1100,33 +1306,32 @@ class Simulator:
         # Hold the store's data register for retire-time verification.
         self.prf.add_consumer(data_preg)
         li.holds.append(data_preg)
-        if self._dec[id(te.instr)].is_partial:
+        if dec.is_partial:
             # NoSQ partial-word bypass needs a shift&mask fix-up MicroOp
             # (paper Section IV-D); DMDP never cloaks partial words.
-            dest = self._rename_dest(instr, self._dec[id(te.instr)].rd)
+            dest = self._rename_dest(instr, dec.rd)
             instr.result_preg = dest
             self._new_uop(instr, UopKind.SHIFTMASK, FuClass.ALU,
                           self.params.alu_latency, (data_preg,), dest)
         else:
-            self._rename_dest_shared(instr, self._dec[id(te.instr)].rd,
-                                     data_preg)
+            self._rename_dest_shared(instr, dec.rd, data_preg)
             instr.result_preg = data_preg
 
-    def _crack_load_delayed(self, instr: DynInstr, entry, addr_preg: int) -> None:
+    def _crack_load_delayed(self, instr: DynInstr, entry, addr_preg: int,
+                            dec: _Decoded) -> None:
         """NoSQ low-confidence: wait for the predicted store to commit."""
         li = instr.load
         li.mode = LoadKind.DELAYED
         li.low_confidence = True
         li.waiting_commit_ssn = li.ssn_byp
         self.stats.delayed_loads += 1
-        dest = self._rename_dest(
-            instr, self._dec[id(instr.trace.instr)].rd)
+        dest = self._rename_dest(instr, dec.rd)
         instr.result_preg = dest
         self._new_uop(instr, UopKind.LOAD, FuClass.MEM, 0,
                       (addr_preg,), dest)
 
     def _crack_load_predicated(self, instr: DynInstr, entry,
-                               addr_preg: int,
+                               addr_preg: int, dec: _Decoded,
                                low_confidence: bool = True) -> None:
         """DMDP predication insertion (paper Fig. 8)."""
         te = instr.trace
@@ -1148,11 +1353,11 @@ class Simulator:
                       self.params.alu_latency,
                       (addr_preg, store_addr_preg), pred_preg)
         # CMOV pair sharing one destination register.
-        dest = self._rename_dest(instr, self._dec[id(te.instr)].rd)
+        dest = self._rename_dest(instr, dec.rd)
         cmov_store = self._new_uop(instr, UopKind.CMOV, FuClass.ALU,
                                    self.params.alu_latency,
                                    (pred_preg, store_data_preg), dest)
-        self._rename_dest_shared(instr, self._dec[id(te.instr)].rd, dest)
+        self._rename_dest_shared(instr, dec.rd, dest)
         cmov_cache = self._new_uop(instr, UopKind.CMOV, FuClass.ALU,
                                    self.params.alu_latency,
                                    (pred_preg, ldtmp_preg), dest)
@@ -1171,25 +1376,30 @@ class Simulator:
     def _fetch(self) -> None:
         if self.cycle < self.fetch_blocked_until or self.pending_branch:
             return
-        if len(self.fetch_buffer) >= 2 * self.params.fetch_width:
+        fetch_buffer = self.fetch_buffer
+        if len(fetch_buffer) >= 2 * self.params.fetch_width:
             return
         total = len(self.trace)
         avail = self.cycle + 2  # fetch + decode depth
         fetched = 0
-        while fetched < self.params.fetch_width and self.fetch_index < total:
+        width = self.params.fetch_width
+        trace = self.trace
+        dec_by_index = self._dec_by_index
+        mispredicted = self._mispredicted
+        ee = self._ee
+        while fetched < width and self.fetch_index < total:
             index = self.fetch_index
-            te = self.trace[index]
-            self.fetch_buffer.append((avail, index))
+            fetch_buffer.append((avail, index))
             self.fetch_index += 1
             fetched += 1
-            self._ee["fetch_decode"] += 1
-            if self._dec[id(te.instr)].is_control:
-                if self._mispredicted[index]:
+            ee["fetch_decode"] += 1
+            if dec_by_index[index].is_control:
+                if mispredicted[index]:
                     # Stall fetch until this branch resolves; the resumption
                     # cycle is set at branch completion.
                     self._mark_pending_branch(index)
                     break
-                if te.taken:
+                if trace[index].taken:
                     break  # a taken branch ends the fetch group
 
     def _mark_pending_branch(self, index: int) -> None:

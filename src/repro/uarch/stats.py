@@ -18,6 +18,10 @@ from typing import Dict, Optional
 class LoadKind(enum.Enum):
     """How a load obtained its value (paper Fig. 2 terminology)."""
 
+    # Identity hashing: per-retired-load Counter updates are hot in the
+    # timing simulator (enum equality is identity anyway).
+    __hash__ = object.__hash__
+
     DIRECT = "direct"        # read straight from the cache
     BYPASS = "bypass"        # memory cloaking (reused store data register)
     DELAYED = "delayed"      # NoSQ: waited for the colliding store to commit

@@ -99,6 +99,54 @@ class StoreBuffer:
 
     # -- draining -----------------------------------------------------------------
 
+    def next_event_cycle(self, cycle: int) -> Optional[int]:
+        """Earliest future cycle at which :meth:`tick` can change observable
+        state (complete an entry, pop the head, or start a pending write).
+
+        Used by the pipeline's event-driven cycle skipping: between now and
+        the returned cycle, ticking the buffer every cycle is a no-op, so
+        those ticks may be elided without changing any timing.  Starting an
+        entry counts as observable because TSO coalescing keys off the tail's
+        ``started`` flag.  Returns ``None`` when the buffer is empty.
+        """
+        if not self.entries:
+            return None
+        tso = self.consistency is Consistency.TSO
+        in_flight = 0
+        earliest_done: Optional[int] = None
+        unstarted = False
+        for entry in self.entries:
+            if entry.start_cycle is not None:
+                if entry.done_cycle > cycle:
+                    in_flight += 1
+                    if (earliest_done is None
+                            or entry.done_cycle < earliest_done):
+                        earliest_done = entry.done_cycle
+                elif not tso:
+                    return cycle + 1  # RMO: completed entry pops next tick
+            else:
+                unstarted = True
+        if unstarted and in_flight < self.rmo_parallelism:
+            # A pending entry starts on the very next tick.
+            return cycle + 1
+        candidates = []
+        if tso:
+            # Only the head's completion pops entries under TSO commit
+            # order; younger completed entries are inert behind it.
+            head = self.entries[0]
+            if head.started:
+                if head.done_cycle <= cycle:
+                    return cycle + 1
+                candidates.append(head.done_cycle)
+        elif earliest_done is not None:
+            candidates.append(earliest_done)
+        if unstarted and earliest_done is not None:
+            # Saturated: the next start is gated on an in-flight completion
+            # freeing a slot (in-flight is counted against wall-clock, so
+            # this holds even for completions buffered behind a TSO head).
+            candidates.append(earliest_done)
+        return min(candidates) if candidates else cycle + 1
+
     def tick(self, cycle: int,
              hierarchy: MemoryHierarchy) -> List[StoreBufferEntry]:
         """Advance the drain engine one cycle; returns entries whose cache
@@ -112,12 +160,14 @@ class StoreBuffer:
         blocks younger, already-fetched stores from becoming visible),
         while **RMO** lets any completed entry commit.
         """
-        in_flight = sum(1 for e in self.entries
-                        if e.started and e.done_cycle > cycle)
+        in_flight = 0
+        for entry in self.entries:
+            if entry.start_cycle is not None and entry.done_cycle > cycle:
+                in_flight += 1
         for entry in self.entries:
             if in_flight >= self.rmo_parallelism:
                 break
-            if not entry.started:
+            if entry.start_cycle is None:
                 entry.start_cycle = cycle
                 entry.done_cycle = hierarchy.access(
                     entry.word_addr, cycle, is_write=True)

@@ -10,12 +10,17 @@ rename/decode time (paper Section IV-A.e, Fig. 7-8):
   **CMOV**s sharing one destination register (Fig. 8);
 * stores in store-queue-free models dispatch *no* access MicroOp at all --
   their data/address registers are read at commit.
+
+These classes are the simulator's highest-volume allocations (one
+:class:`DynInstr` per dynamic instruction, one :class:`Uop` per MicroOp),
+so they are plain ``__slots__`` classes rather than dataclasses: no
+per-instance ``__dict__``, cheaper attribute access, and identity-based
+equality (which the pipeline's membership tests rely on anyway).
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from ..isa import FuClass
@@ -24,6 +29,9 @@ from .stats import LoadKind
 
 
 class UopKind(enum.Enum):
+    # Identity hashing (see FuClass): cheap dict/set use in the hot loop.
+    __hash__ = object.__hash__
+
     ALU = "alu"            # any single-MicroOp computation or NOP/HALT
     BRANCH = "branch"
     AGI = "agi"            # address generation + TLB translate
@@ -35,106 +43,133 @@ class UopKind(enum.Enum):
 
 
 class UopState(enum.Enum):
+    __hash__ = object.__hash__
+
     WAITING = 0
     READY = 1
     ISSUED = 2
     DONE = 3
 
 
-@dataclass
 class Uop:
     """One MicroOp in flight."""
 
-    seq: int                       # global MicroOp age (issue priority)
-    kind: UopKind
-    fu: FuClass
-    latency: int
-    srcs: Tuple[int, ...]          # source physical registers
-    dest: Optional[int]            # destination physical register
-    prev_preg: Optional[int]       # mapping overwritten (virtual release)
-    instr: "DynInstr"
+    __slots__ = ("seq", "kind", "fu", "latency", "srcs", "dest", "prev_preg",
+                 "instr", "state", "remaining_srcs", "issue_cycle",
+                 "done_cycle", "dead", "cmov_selected", "writes_dest")
 
-    state: UopState = UopState.WAITING
-    remaining_srcs: int = 0
-    issue_cycle: Optional[int] = None
-    done_cycle: Optional[int] = None
-    dead: bool = False             # squashed; ignore all pending events
-
-    # CMOV pair bookkeeping: does this CMOV actually write the register?
-    cmov_selected: bool = False
-    # Does completion of this MicroOp make the dest register ready?
-    writes_dest: bool = True
+    def __init__(self, seq: int, kind: UopKind, fu: FuClass, latency: int,
+                 srcs: Tuple[int, ...], dest: Optional[int],
+                 prev_preg: Optional[int], instr: "DynInstr"):
+        self.seq = seq                 # global MicroOp age (issue priority)
+        self.kind = kind
+        self.fu = fu
+        self.latency = latency
+        self.srcs = srcs               # source physical registers
+        self.dest = dest               # destination physical register
+        self.prev_preg = prev_preg     # mapping overwritten (virtual release)
+        self.instr = instr
+        self.state = UopState.WAITING
+        self.remaining_srcs = 0
+        self.issue_cycle: Optional[int] = None
+        self.done_cycle: Optional[int] = None
+        self.dead = False              # squashed; ignore all pending events
+        # CMOV pair bookkeeping: does this CMOV actually write the register?
+        self.cmov_selected = False
+        # Does completion of this MicroOp make the dest register ready?
+        self.writes_dest = True
 
     def __repr__(self) -> str:  # pragma: no cover
         return "<Uop %d %s %s>" % (self.seq, self.kind.value, self.state.name)
 
 
-@dataclass
 class LoadInfo:
     """Timing-model bookkeeping for one dynamic load."""
 
-    mode: LoadKind
-    low_confidence: bool = False
-    predicted: bool = False              # a dependence prediction was made
-    ssn_byp: Optional[int] = None        # predicted colliding store SSN
-    dep_trace_index: Optional[int] = None  # trace index of predicted store
-    ssn_nvul: Optional[int] = None       # SSN_commit sampled at cache read
-    read_cycle: Optional[int] = None     # when the cache data returned
-    obtained_value: Optional[int] = None  # value the load actually got
-    value_from_store: bool = False       # forwarded (cloak / predicate==1)
-    predicate: Optional[bool] = None     # DMDP CMP outcome
-    store_bab_checked: bool = True       # Fig. 11 coverage check outcome
-    reexec_scheduled: bool = False
-    reexec_done_cycle: Optional[int] = None
-    violation: bool = False
-    # Consumer holds taken at rename, released at retire.
-    holds: List[int] = field(default_factory=list)
-    # Predictor-training context.
-    history: int = 0
-    waiting_commit_ssn: Optional[int] = None  # delayed-load wake condition
-    # Predicated loads: cache data parked in the $ldtmp register.
-    cache_value: Optional[int] = None
-    # Retire-time verification cache (one T-SSBF read per load).
-    tssbf_result: Optional[object] = None
-    # Baseline: store-set ordering and forwarding-stall bookkeeping.
-    storeset_wait: Optional[int] = None
-    forward_block: Optional[int] = None
+    __slots__ = ("mode", "low_confidence", "predicted", "ssn_byp",
+                 "dep_trace_index", "ssn_nvul", "read_cycle",
+                 "obtained_value", "value_from_store", "predicate",
+                 "store_bab_checked", "reexec_scheduled", "reexec_done_cycle",
+                 "violation", "holds", "history", "waiting_commit_ssn",
+                 "cache_value", "tssbf_result", "storeset_wait",
+                 "forward_block")
+
+    def __init__(self, mode: LoadKind, history: int = 0):
+        self.mode = mode
+        self.low_confidence = False
+        self.predicted = False               # a dependence prediction was made
+        self.ssn_byp: Optional[int] = None   # predicted colliding store SSN
+        self.dep_trace_index: Optional[int] = None  # trace idx of pred. store
+        self.ssn_nvul: Optional[int] = None  # SSN_commit sampled at cache read
+        self.read_cycle: Optional[int] = None  # when the cache data returned
+        self.obtained_value: Optional[int] = None  # value the load got
+        self.value_from_store = False        # forwarded (cloak / predicate==1)
+        self.predicate: Optional[bool] = None  # DMDP CMP outcome
+        self.store_bab_checked = True        # Fig. 11 coverage check outcome
+        self.reexec_scheduled = False
+        self.reexec_done_cycle: Optional[int] = None
+        self.violation = False
+        # Consumer holds taken at rename, released at retire.
+        self.holds: List[int] = []
+        # Predictor-training context.
+        self.history = history
+        self.waiting_commit_ssn: Optional[int] = None  # delayed-load wake
+        # Predicated loads: cache data parked in the $ldtmp register.
+        self.cache_value: Optional[int] = None
+        # Retire-time verification cache (one T-SSBF read per load).
+        self.tssbf_result: Optional[object] = None
+        # Baseline: store-set ordering and forwarding-stall bookkeeping.
+        self.storeset_wait: Optional[int] = None
+        self.forward_block: Optional[int] = None
 
 
-@dataclass
 class StoreInfo:
     """Timing-model bookkeeping for one dynamic store."""
 
-    ssn: int
-    data_preg: int
-    addr_preg: int
-    # Consumer holds released when the store commits (NoSQ/DMDP) or
-    # executes (baseline handles them through the SQ MicroOp sources).
-    holds: List[int] = field(default_factory=list)
-    sq_entry_done: bool = False   # baseline: address+data visible in the SQ
-    retired: bool = False
-    committed: bool = False
-    store_set_prev: Optional[int] = None  # older same-set store (seq)
+    __slots__ = ("ssn", "data_preg", "addr_preg", "holds", "sq_entry_done",
+                 "retired", "committed", "store_set_prev")
+
+    def __init__(self, ssn: int, data_preg: int, addr_preg: int):
+        self.ssn = ssn
+        self.data_preg = data_preg
+        self.addr_preg = addr_preg
+        # Consumer holds released when the store commits (NoSQ/DMDP) or
+        # executes (baseline handles them through the SQ MicroOp sources).
+        self.holds: List[int] = []
+        self.sq_entry_done = False  # baseline: address+data visible in SQ
+        self.retired = False
+        self.committed = False
+        self.store_set_prev: Optional[int] = None  # older same-set store
 
 
-@dataclass
 class DynInstr:
     """One architectural instruction in flight."""
 
-    rob_id: int                    # program-order id (== trace index here)
-    trace: TraceEntry
-    uops: List[Uop] = field(default_factory=list)
-    rename_cycle: int = 0
-    load: Optional[LoadInfo] = None
-    store: Optional[StoreInfo] = None
-    # Rename-map updates: (logical, new preg, overwritten preg), applied to
-    # the committed map -- with virtual release -- at retire.
-    renames: List[Tuple[int, int, int]] = field(default_factory=list)
-    # Physical register whose readiness is the architectural result.
-    result_preg: Optional[int] = None
-    mispredicted_branch: bool = False
-    retired: bool = False
-    dead: bool = False
+    __slots__ = ("rob_id", "trace", "uops", "rename_cycle", "load", "store",
+                 "renames", "result_preg", "mispredicted_branch", "retired",
+                 "dead", "pending_uops", "dec")
+
+    def __init__(self, rob_id: int, trace: TraceEntry, rename_cycle: int = 0):
+        self.rob_id = rob_id           # program-order id (== trace index)
+        self.trace = trace
+        # Decode template (pipeline._Decoded) shared across all dynamic
+        # instances of this static instruction; None outside the pipeline.
+        self.dec = None
+        self.uops: List[Uop] = []
+        self.rename_cycle = rename_cycle
+        self.load: Optional[LoadInfo] = None
+        self.store: Optional[StoreInfo] = None
+        # Rename-map updates: (logical, new preg, overwritten preg), applied
+        # to the committed map -- with virtual release -- at retire.
+        self.renames: List[Tuple[int, int, int]] = []
+        # Physical register whose readiness is the architectural result.
+        self.result_preg: Optional[int] = None
+        self.mispredicted_branch = False
+        self.retired = False
+        self.dead = False
+        # MicroOps not yet written back; the pipeline's retire stage checks
+        # this counter instead of scanning ``uops`` every cycle.
+        self.pending_uops = 0
 
     @property
     def is_load(self) -> bool:

@@ -74,6 +74,38 @@ class TestBasics:
         assert len(list(mem.touched_pages())) == 1
 
 
+class TestAlignedWordFastPath:
+    """The 4-byte aligned read/write paths bypass the per-byte loop; they
+    must stay byte-for-byte interchangeable with it."""
+
+    def test_word_write_matches_byte_writes(self):
+        fast, slow = SparseMemory(), SparseMemory()
+        fast.write(0x400, 0x11223344, 4)
+        for i, b in enumerate((0x44, 0x33, 0x22, 0x11)):
+            slow.write_byte(0x400 + i, b)
+        assert fast.snapshot() == slow.snapshot()
+
+    def test_word_read_sees_byte_writes(self):
+        mem = SparseMemory()
+        for i, b in enumerate((0xEF, 0xBE, 0xAD, 0xDE)):
+            mem.write_byte(0x500 + i, b)
+        assert mem.read(0x500, 4) == 0xDEADBEEF
+
+    def test_word_at_page_tail(self):
+        """An aligned word never straddles a page: the last aligned slot of
+        a page must go through the fast path and land in one page."""
+        mem = SparseMemory()
+        addr = PAGE_SIZE - 4
+        mem.write(addr, 0xCAFED00D, 4)
+        assert mem.read(addr, 4) == 0xCAFED00D
+        assert len(list(mem.touched_pages())) == 1
+
+    def test_word_read_of_untouched_page_allocates_nothing(self):
+        mem = SparseMemory()
+        assert mem.read(0x8000, 4) == 0
+        assert not list(mem.touched_pages())
+
+
 class TestProperties:
     @given(st.integers(0, 0xFFFF_FFF0), st.integers(0, 0xFFFF_FFFF))
     @settings(max_examples=200)

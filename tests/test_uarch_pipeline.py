@@ -337,3 +337,62 @@ class TestSquashInternals:
         sim._squash_younger = spy
         sim.run()
         assert results and all(results)
+
+
+class TestWritebackHeapOrder:
+    """Micro-tests for the writeback event heap: MicroOps are pushed in
+    issue order but with arbitrary completion deadlines, and must drain
+    strictly in deadline (cycle) order."""
+
+    @staticmethod
+    def _sim_with_events(deadlines, dead=()):
+        import heapq
+
+        from repro.isa import FuClass
+        from repro.uarch.uops import DynInstr, Uop, UopKind, UopState
+
+        prog = ac_spill_kernel(5)
+        trace = FunctionalCpu(prog).run_trace()
+        sim = Simulator(prog, trace, model_params(ModelKind.DMDP))
+        instr = DynInstr(rob_id=0, trace=trace[0])
+        uops = []
+        for seq, deadline in enumerate(deadlines):
+            uop = Uop(seq=seq, kind=UopKind.ALU, fu=FuClass.ALU, latency=1,
+                      srcs=(), dest=None, prev_preg=None, instr=instr)
+            uop.state = UopState.ISSUED
+            if seq in dead:
+                uop.dead = True
+            else:
+                instr.pending_uops += 1
+            heapq.heappush(sim.event_heap, (deadline, seq, uop))
+            uops.append(uop)
+        return sim, instr, uops
+
+    def test_out_of_order_deadlines_complete_in_cycle_order(self):
+        from repro.uarch.uops import UopState
+
+        deadlines = [9, 3, 7, 3, 5]   # pushed in seq order, not cycle order
+        sim, instr, uops = self._sim_with_events(deadlines)
+        for cycle in range(max(deadlines) + 2):
+            sim.cycle = cycle
+            sim._writeback()
+            done = {seq for seq, uop in enumerate(uops)
+                    if uop.state is UopState.DONE}
+            expected = {seq for seq, deadline in enumerate(deadlines)
+                        if deadline <= cycle}
+            assert done == expected, "cycle %d" % cycle
+        assert instr.pending_uops == 0
+        assert not sim.event_heap
+
+    def test_dead_uops_are_skipped_without_side_effects(self):
+        from repro.uarch.uops import UopState
+
+        deadlines = [4, 2, 6]
+        sim, instr, uops = self._sim_with_events(deadlines, dead={1})
+        sim.cycle = 10
+        sim._writeback()
+        assert uops[1].state is UopState.ISSUED   # never completed
+        assert uops[0].state is UopState.DONE
+        assert uops[2].state is UopState.DONE
+        assert instr.pending_uops == 0
+        assert not sim.event_heap

@@ -143,6 +143,80 @@ class TestRmoDrain:
             cycles_until_half_empty(Consistency.TSO)
 
 
+class TestNextEventCycle:
+    """`next_event_cycle` powers the pipeline's event-driven cycle skipping:
+    between `cycle` and the returned cycle, ticking every cycle must be a
+    no-op, so eliding those ticks cannot change any drain timing."""
+
+    def test_empty_buffer_has_no_event(self):
+        sb = StoreBuffer(capacity=4, consistency=Consistency.TSO)
+        assert sb.next_event_cycle(0) is None
+
+    def test_unstarted_entry_with_free_slot_fires_next_cycle(self):
+        sb = StoreBuffer(capacity=4, consistency=Consistency.TSO,
+                         coalescing=False)
+        sb.push(1, 0x100, 0)
+        assert sb.next_event_cycle(0) == 1
+
+    def test_tso_completed_behind_missing_head_is_inert(self):
+        """Younger entries whose cache write finished stay buffered behind
+        a missing head; their state cannot change until the head's write
+        completes, so the head's deadline is the only event."""
+        sb = StoreBuffer(capacity=8, consistency=Consistency.TSO,
+                         coalescing=False)
+        hier = hierarchy()
+        hier.access(0x200, 0)            # the second store will hit
+        sb.push(1, 0x9000, 0)            # head: cold miss
+        sb.push(2, 0x200, 1)
+        sb.tick(0, hier)                 # both writes start at cycle 0
+        head_done = sb.entries[0].done_cycle
+        tail_done = sb.entries[1].done_cycle
+        assert tail_done < head_done
+        # After the tail completes, the next observable change is the
+        # head's completion -- hundreds of cycles out, not cycle+1.
+        assert sb.next_event_cycle(tail_done + 1) == head_done
+
+    def test_rmo_completed_entry_pops_next_tick(self):
+        sb = StoreBuffer(capacity=8, consistency=Consistency.RMO,
+                         coalescing=False)
+        hier = hierarchy()
+        hier.access(0x200, 0)
+        sb.push(1, 0x9000, 0)
+        sb.push(2, 0x200, 1)
+        sb.tick(0, hier)
+        tail_done = sb.entries[1].done_cycle
+        assert sb.next_event_cycle(tail_done) == tail_done + 1
+
+    @staticmethod
+    def _drain(consistency, skip):
+        sb = StoreBuffer(capacity=8, consistency=consistency,
+                         coalescing=False, rmo_parallelism=2)
+        hier = hierarchy()
+        for addr in (0x200, 0x240):
+            hier.access(addr, 0)         # warm: these stores will hit
+        for i, addr in enumerate((0x9000, 0x200, 0xA000, 0x240, 0xB000)):
+            sb.push(i + 1, addr, i)
+        timeline = []
+        cycle = 0
+        while not sb.is_empty and cycle < 5000:
+            for entry in sb.tick(cycle, hier):
+                timeline.append((entry.ssn, cycle))
+            if skip:
+                wake = sb.next_event_cycle(cycle)
+                cycle = wake if wake is not None else cycle + 1
+            else:
+                cycle += 1
+        assert sb.is_empty
+        return timeline
+
+    def test_skipping_matches_tick_every_cycle(self):
+        """Jumping straight between events reproduces the exact per-cycle
+        drain timeline under both consistency models."""
+        for consistency in (Consistency.TSO, Consistency.RMO):
+            assert (self._drain(consistency, skip=True)
+                    == self._drain(consistency, skip=False))
+
+
 class TestStats:
     def test_peak_occupancy(self):
         sb = StoreBuffer(capacity=8, consistency=Consistency.TSO,
