@@ -9,8 +9,17 @@ Commands
     Run one workload under all four models and print the comparison.
 ``run WORKLOAD``
     Run one workload under one model and print detailed statistics.
+    ``--trace PATH`` records a pipeline trace (Konata/O3PipeView format,
+    or JSONL events when PATH ends in ``.jsonl``); ``--trace-window N:M``
+    restricts it to a trace-index range.  ``--stats-json [PATH]`` emits
+    the full statistics image as JSON; ``--metrics PATH`` writes the
+    structured metrics report (latency histograms, squash causes,
+    store-buffer occupancy).
 ``suite``
     Run a model across the whole workload suite.
+``trace-report TRACE.jsonl``
+    Summarise a recorded JSONL pipeline trace (``--json`` for the raw
+    report).
 ``experiment EXP_ID``
     Reproduce one paper figure/table (see ``list`` for ids).
 ``cache``
@@ -96,6 +105,18 @@ def build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="one workload under one model")
     run.add_argument("workload", choices=ALL_NAMES)
     run.add_argument("--model", type=_model, default=ModelKind.DMDP)
+    run.add_argument("--trace", default=None, metavar="PATH",
+                     help="record a pipeline trace: Konata format, or "
+                          "JSONL events when PATH ends in .jsonl")
+    run.add_argument("--trace-window", default=None, metavar="N:M",
+                     help="restrict the trace to instruction (trace-index) "
+                          "range [N, M); either side may be empty")
+    run.add_argument("--stats-json", nargs="?", const="-", default=None,
+                     metavar="PATH",
+                     help="emit the full statistics image as JSON to PATH "
+                          "(default: stdout)")
+    run.add_argument("--metrics", default=None, metavar="PATH",
+                     help="write the structured metrics report (JSON)")
     _add_config_flags(run)
 
     suite = sub.add_parser("suite", help="a model across the whole suite")
@@ -109,6 +130,14 @@ def build_parser() -> argparse.ArgumentParser:
                             help="comma-separated subset")
     experiment.add_argument("--timing", action="store_true",
                             help="append the per-session timing summary")
+
+    trace_report = sub.add_parser("trace-report",
+                                  help="summarise a recorded JSONL "
+                                       "pipeline trace")
+    trace_report.add_argument("trace", metavar="TRACE.jsonl",
+                              help="JSONL event stream from run --trace")
+    trace_report.add_argument("--json", action="store_true",
+                              help="print the raw report as JSON")
 
     cache = sub.add_parser("cache",
                            help="inspect or clear the persistent "
@@ -193,7 +222,23 @@ def cmd_compare(args, out) -> int:
 
 def cmd_run(args, out) -> int:
     runner = _runner(args)
-    result = runner.run(args.workload, args.model, **_overrides(args))
+    overrides = _overrides(args)
+    tracing = args.trace is not None or args.metrics is not None
+    if tracing:
+        from .obs import (MetricsTracer, RecordingTracer, TraceWindow,
+                          build_metrics, write_jsonl, write_konata)
+        try:
+            window = (TraceWindow.parse(args.trace_window)
+                      if args.trace_window else None)
+        except ValueError as exc:
+            print("error: %s" % exc, file=out)
+            return 2
+        tracer = (RecordingTracer(window=window) if args.trace is not None
+                  else MetricsTracer())
+        result = runner.run_traced(args.workload, args.model, tracer,
+                                   **overrides)
+    else:
+        result = runner.run(args.workload, args.model, **overrides)
     stats = result.stats
     print("workload     %s" % args.workload, file=out)
     print("model        %s" % args.model.value, file=out)
@@ -205,6 +250,33 @@ def cmd_run(args, out) -> int:
           file=out)
     print("energy       %.0f (EDP %.3g)" % (result.energy.total,
                                             result.energy.edp), file=out)
+    if args.stats_json is not None:
+        text = stats.to_json()
+        if args.stats_json == "-":
+            print(text, file=out)
+        else:
+            with open(args.stats_json, "w") as handle:
+                handle.write(text + "\n")
+            print("stats json   %s" % args.stats_json, file=out)
+    if tracing:
+        if args.trace is not None:
+            events = tracer.events
+            if args.trace.endswith(".jsonl"):
+                count = write_jsonl(events, args.trace)
+                print("trace        %s (%d events, jsonl)"
+                      % (args.trace, count), file=out)
+            else:
+                count = write_konata(events, args.trace)
+                print("trace        %s (%d rows, konata)"
+                      % (args.trace, count), file=out)
+        if args.metrics is not None:
+            import json
+            report = (build_metrics(tracer.events)
+                      if args.trace is not None else tracer.report())
+            with open(args.metrics, "w") as handle:
+                json.dump(report, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print("metrics      %s" % args.metrics, file=out)
     return 0
 
 
@@ -232,6 +304,24 @@ def cmd_experiment(args, out) -> int:
         print(file=out)
         print(format_run_report(runner.point_log, runner.batch_log),
               file=out)
+    return 0
+
+
+def cmd_trace_report(args, out) -> int:
+    from .obs import format_trace_report, summarize_jsonl
+    try:
+        report = summarize_jsonl(args.trace)
+    except OSError as exc:
+        print("error: cannot read trace: %s" % exc, file=out)
+        return 1
+    except ValueError as exc:
+        print("error: malformed trace: %s" % exc, file=out)
+        return 1
+    if args.json:
+        import json
+        print(json.dumps(report, indent=2, sort_keys=True), file=out)
+    else:
+        print(format_trace_report(report), file=out)
     return 0
 
 
@@ -283,6 +373,7 @@ COMMANDS = {
     "run": cmd_run,
     "suite": cmd_suite,
     "experiment": cmd_experiment,
+    "trace-report": cmd_trace_report,
     "cache": cmd_cache,
     "bench-hotloop": cmd_bench_hotloop,
 }

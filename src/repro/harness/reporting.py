@@ -35,13 +35,29 @@ def percent(ratio: float) -> float:
 def format_table(headers: Sequence[str], rows: Sequence[Sequence],
                  title: Optional[str] = None,
                  float_fmt: str = "%.3f") -> str:
-    """Render an ASCII table."""
+    """Render an ASCII table.
+
+    Tolerant of messy experiment data: ragged rows are padded (or the
+    header row widened) to the widest row, ``None`` renders as ``-``, and
+    non-numeric cells fall back to ``str``.
+    """
     def render(cell):
+        if cell is None:
+            return "-"
+        if isinstance(cell, bool):  # bool is an int; keep True/False
+            return str(cell)
         if isinstance(cell, float):
-            return float_fmt % cell
+            try:
+                return float_fmt % cell
+            except (TypeError, ValueError):
+                return str(cell)
         return str(cell)
 
+    headers = [render(h) for h in headers]
     text_rows = [[render(c) for c in row] for row in rows]
+    ncols = max([len(headers)] + [len(r) for r in text_rows])
+    headers = headers + [""] * (ncols - len(headers))
+    text_rows = [row + ["-"] * (ncols - len(row)) for row in text_rows]
     widths = [len(h) for h in headers]
     for row in text_rows:
         for i, cell in enumerate(row):
@@ -91,8 +107,12 @@ def format_run_report(points: Sequence[PointTiming],
     fan-out -- the aggregate parallel speedup (serial simulation seconds
     over batch wall-clock).
     """
+    points = list(points or ())
+    batches = list(batches or ())
     simulated = [p for p in points if p.source == "sim"]
     cached = [p for p in points if p.source == "cache"]
+    if not points:
+        return "no points resolved"
     lines = [
         "points simulated      %d (%.2fs)"
         % (len(simulated), sum(p.seconds for p in simulated)),

@@ -61,15 +61,21 @@ class ExperimentRunner:
 
     def __init__(self, scale: Optional[float] = None, jobs: int = 1,
                  cache: Optional[ResultCache] = None, use_cache: bool = True,
-                 progress=None):
+                 progress=None, collect_metrics: bool = False):
         """``scale`` multiplies every workload's default iteration count
         (e.g. 0.1 for quick tests); None keeps per-workload defaults.
         ``jobs`` is the worker-process count for batch submissions (1 =
         in-process serial).  ``cache`` overrides the default on-disk result
         cache; ``use_cache=False`` disables persistence entirely.
-        ``progress`` is an optional callable(str) for live reporting."""
+        ``progress`` is an optional callable(str) for live reporting.
+        ``collect_metrics=True`` attaches a streaming metrics tracer to
+        every simulation and keeps the structured report per point (forces
+        in-process simulation: no disk-cache reads, no worker fan-out, so
+        the metrics are always complete)."""
         self.scale = scale
         self.jobs = max(1, int(jobs))
+        self.collect_metrics = collect_metrics
+        self.metrics_log: Dict[Tuple, Dict[str, object]] = {}
         if cache is not None:
             self.cache = cache
         elif use_cache:
@@ -130,10 +136,42 @@ class ExperimentRunner:
     def _simulate(self, workload: str, model: ModelKind,
                   overrides: dict) -> SimResult:
         params = model_params(model, **overrides)
+        tracer = None
+        if self.collect_metrics:
+            from ..obs import MetricsTracer  # deferred: keeps import light
+            tracer = MetricsTracer()
         stats = Simulator(self.program(workload), self.trace(workload),
-                          params).run()
+                          params, tracer=tracer).run()
+        if tracer is not None:
+            self.metrics_log[self._memo_key(workload, model,
+                                            overrides)] = tracer.report()
         return SimResult(workload=workload, model=model, stats=stats,
                          energy=energy_report(stats, params.energy))
+
+    def metrics_for(self, workload: str, model: ModelKind,
+                    **overrides) -> Optional[Dict[str, object]]:
+        """Structured metrics for a point simulated under
+        ``collect_metrics=True`` (None when it was never simulated here)."""
+        return self.metrics_log.get(self._memo_key(workload, model,
+                                                   overrides))
+
+    def run_traced(self, workload: str, model: ModelKind, tracer,
+                   **overrides) -> SimResult:
+        """Simulate one point with an explicit tracer attached.
+
+        Always simulates (a cached result has no event stream); the stats
+        are still pushed to the disk cache since tracing does not perturb
+        them."""
+        start = time.perf_counter()
+        params = model_params(model, **overrides)
+        stats = Simulator(self.program(workload), self.trace(workload),
+                          params, tracer=tracer).run()
+        result = SimResult(workload=workload, model=model, stats=stats,
+                           energy=energy_report(stats, params.energy))
+        self.cache.put(self._disk_key(workload, model, overrides), result)
+        self._results[self._memo_key(workload, model, overrides)] = result
+        self._log_point(workload, model, time.perf_counter() - start, "sim")
+        return result
 
     def run(self, workload: str, model: ModelKind,
             **overrides) -> SimResult:
@@ -144,7 +182,8 @@ class ExperimentRunner:
             return cached
         start = time.perf_counter()
         disk_key = self._disk_key(workload, model, overrides)
-        result = self.cache.get(disk_key)
+        # Metrics collection needs a live simulation: skip the disk cache.
+        result = None if self.collect_metrics else self.cache.get(disk_key)
         if result is not None:
             self._log_point(workload, model, time.perf_counter() - start,
                             "cache")
@@ -203,7 +242,9 @@ class ExperimentRunner:
 
         if misses:
             timing.simulated = len(misses)
-            if self.jobs > 1 and len(misses) > 1:
+            # Metrics collection happens in _simulate, so fall back to
+            # in-process simulation instead of the worker fan-out.
+            if self.jobs > 1 and len(misses) > 1 and not self.collect_metrics:
                 engine = ParallelEngine(jobs=self.jobs, scale=self.scale,
                                         progress=self.progress)
                 resolved = engine.run_points(misses)

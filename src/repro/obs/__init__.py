@@ -1,0 +1,27 @@
+"""Observability: pipeline tracing, structured metrics, trace export.
+
+See DESIGN.md section 10.  The timing simulator takes a
+:class:`PipelineTracer` (default :data:`NULL_TRACER`, whose only hot-loop
+cost is one attribute check per guard site); :class:`RecordingTracer`
+captures per-MicroOp stage timestamps and DMDP-specific events, which the
+exporters turn into Konata-compatible text (:func:`write_konata`), JSONL
+event streams (:func:`write_jsonl`), or a structured metrics report
+(:func:`build_metrics`).
+"""
+
+from .tracer import (EventKind, MetricsTracer, NULL_TRACER, NullTracer,
+                     PipelineTracer, RecordingTracer, TraceEvent,
+                     TraceWindow)
+from .jsonl import iter_jsonl, read_jsonl, write_jsonl
+from .konata import KonataRecord, parse_konata, write_konata
+from .metrics import MetricsAccumulator, build_metrics
+from .report import format_trace_report, summarize_jsonl
+
+__all__ = [
+    "EventKind", "MetricsTracer", "NULL_TRACER", "NullTracer",
+    "PipelineTracer", "RecordingTracer", "TraceEvent", "TraceWindow",
+    "iter_jsonl", "read_jsonl", "write_jsonl",
+    "KonataRecord", "parse_konata", "write_konata",
+    "MetricsAccumulator", "build_metrics",
+    "format_trace_report", "summarize_jsonl",
+]

@@ -1,0 +1,78 @@
+"""JSONL trace export / import.
+
+One event per line, compact stable keys::
+
+    {"c": <cycle>, "k": "<EventKind.value>", "i": <instr index>,
+     "u": <uop seq>, "d": {...kind-specific payload...}}
+
+``i``/``u`` are omitted when the event has none.  Lines are emitted in
+event order, which is deterministic for a deterministic simulation -- two
+runs of the same point produce byte-identical streams, which is what
+``tools/trace_diff.py`` exploits.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable, Iterator, List, Union
+
+from .tracer import EventKind, TraceEvent
+
+
+def event_to_obj(event: TraceEvent) -> dict:
+    obj = {"c": event.cycle, "k": event.kind.value}
+    if event.index is not None:
+        obj["i"] = event.index
+    if event.uop is not None:
+        obj["u"] = event.uop
+    obj["d"] = event.data
+    return obj
+
+
+def obj_to_event(obj: dict) -> TraceEvent:
+    return TraceEvent(cycle=obj["c"], kind=EventKind(obj["k"]),
+                      index=obj.get("i"), uop=obj.get("u"),
+                      data=obj.get("d", {}))
+
+
+def write_jsonl(events: Iterable[TraceEvent],
+                target: Union[str, IO[str]]) -> int:
+    """Write events to a path or text handle; returns the event count."""
+    own = isinstance(target, str)
+    handle = open(target, "w", encoding="utf-8") if own else target
+    count = 0
+    try:
+        for event in events:
+            handle.write(json.dumps(event_to_obj(event),
+                                    separators=(",", ":"),
+                                    sort_keys=True))
+            handle.write("\n")
+            count += 1
+    finally:
+        if own:
+            handle.close()
+    return count
+
+
+def iter_jsonl(source: Union[str, IO[str]]) -> Iterator[TraceEvent]:
+    """Stream events back from a JSONL trace file (blank lines skipped)."""
+    own = isinstance(source, str)
+    handle = open(source, "r", encoding="utf-8") if own else source
+    try:
+        for lineno, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError("bad JSONL trace line %d: %s"
+                                 % (lineno, exc)) from None
+            yield obj_to_event(obj)
+    finally:
+        if own:
+            handle.close()
+
+
+def read_jsonl(source: Union[str, IO[str]]) -> List[TraceEvent]:
+    return list(iter_jsonl(source))

@@ -1,0 +1,364 @@
+"""Konata (Kanata log format) export for pipeline traces.
+
+Produces text the `Konata <https://github.com/shioyadan/Konata>`_ pipeline
+viewer loads directly (``Kanata 0004`` header, tab-separated commands), in
+the same spirit as gem5's O3PipeView output.  One Konata row is emitted
+per MicroOp, so a DMDP-predicated load renders as its four-uop
+LW/CMP/CMOV/CMOV sequence with per-uop stage timestamps.
+
+Stages (half-open cycle ranges; ``E`` is emitted at the first cycle the
+stage is no longer active):
+
+======  ==========================================================
+``F``   fetch + decode (fetch cycle to decode availability)
+``Fb``  fetch-buffer wait (decode done, rename not yet possible)
+``Rn``  rename / crack / dispatch cycle
+``Ds``  issue-queue wait (dispatched, operands or ports pending)
+``Ex``  execution (issue to writeback)
+``Wb``  writeback cycle
+``Cm``  commit/retire cycle
+======  ==========================================================
+
+``R`` records mark retirement (type 0) or squash (type 1); ``W`` records
+link a dependence-predicted load's first MicroOp to its predicted
+producer store.  :func:`parse_konata` is the matching strict reader used
+by the smoke tests and CI.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, IO, Iterable, List, Optional, Tuple, Union
+
+from .tracer import EventKind, TraceEvent
+
+
+class _Row:
+    """One Konata row (one MicroOp, or a fetch-only placeholder)."""
+
+    __slots__ = ("rid", "inst", "uop_seq", "uop_kind", "issue", "wb")
+
+    def __init__(self, rid: int, inst: "_Inst", uop_seq: Optional[int],
+                 uop_kind: Optional[str]):
+        self.rid = rid
+        self.inst = inst
+        self.uop_seq = uop_seq
+        self.uop_kind = uop_kind
+        self.issue: Optional[int] = None
+        self.wb: Optional[int] = None
+
+
+class _Inst:
+    """One dynamic instruction incarnation (refetches get a new one)."""
+
+    __slots__ = ("index", "pc", "asm", "fetch", "avail", "rename", "retire",
+                 "flush", "load_kind", "rows", "notes")
+
+    def __init__(self, index: int):
+        self.index = index
+        self.pc: Optional[int] = None
+        self.asm: Optional[str] = None
+        self.fetch: Optional[int] = None
+        self.avail: Optional[int] = None
+        self.rename: Optional[int] = None
+        self.retire: Optional[int] = None
+        self.flush: Optional[int] = None
+        self.load_kind: Optional[str] = None
+        self.rows: List[_Row] = []
+        self.notes: List[str] = []
+
+
+def _build(events: Iterable[TraceEvent]) -> Tuple[List[_Inst],
+                                                  List[Tuple[int, int, int]]]:
+    """Fold the event stream into instruction/row records plus dependence
+    edges (consumer row id, producer row id, consumer rename cycle)."""
+    insts: List[_Inst] = []
+    current: Dict[int, _Inst] = {}
+    rows_by_seq: Dict[int, _Row] = {}
+    edges: List[Tuple[int, int, int]] = []
+    pending_edges: Dict[int, int] = {}  # load index -> dep trace index
+    next_rid = 0
+
+    def incarnation(index: int) -> _Inst:
+        inst = _Inst(index)
+        insts.append(inst)
+        current[index] = inst
+        return inst
+
+    for event in events:
+        kind = event.kind
+        data = event.data
+        index = event.index
+        if kind is EventKind.FETCH:
+            inst = incarnation(index)
+            inst.fetch = event.cycle
+            inst.avail = data.get("avail")
+            inst.pc = data.get("pc")
+        elif kind is EventKind.RENAME:
+            inst = current.get(index)
+            if inst is None or inst.rename is not None:
+                inst = incarnation(index)
+            inst.rename = event.cycle
+            inst.pc = data.get("pc", inst.pc)
+            inst.asm = data.get("asm")
+            inst.load_kind = data.get("load_kind")
+            for seq, uop_kind in data.get("uops", ()):
+                row = _Row(next_rid, inst, seq, uop_kind)
+                next_rid += 1
+                inst.rows.append(row)
+                rows_by_seq[seq] = row
+            dep = pending_edges.pop(index, None)
+            if dep is not None and inst.rows:
+                producer = current.get(dep)
+                if producer is not None and producer.rows:
+                    edges.append((inst.rows[0].rid, producer.rows[0].rid,
+                                  event.cycle))
+        elif kind is EventKind.ISSUE:
+            row = rows_by_seq.get(event.uop)
+            if row is not None:
+                row.issue = event.cycle
+        elif kind is EventKind.WRITEBACK:
+            row = rows_by_seq.get(event.uop)
+            if row is not None:
+                row.wb = event.cycle
+        elif kind is EventKind.RETIRE:
+            inst = current.get(index)
+            if inst is not None:
+                inst.retire = event.cycle
+        elif kind is EventKind.SQUASH:
+            # Everything younger than the trigger dies, including
+            # fetch-buffer-only incarnations the flushed list cannot name.
+            for idx, inst in current.items():
+                if idx > index and inst.retire is None \
+                        and inst.flush is None:
+                    inst.flush = event.cycle
+        elif kind is EventKind.DEP_PREDICT:
+            dep = data.get("dep")
+            if data.get("applied") and dep is not None:
+                pending_edges[index] = dep
+        elif kind is EventKind.PREDICATION:
+            inst = current.get(index)
+            if inst is not None:
+                inst.notes.append(
+                    "predicated(%s, sel=%s)"
+                    % ("lowconf" if data.get("lowconf") else "forced",
+                       "store" if data.get("sel_store") else "cache"))
+        elif kind is EventKind.VERIFY:
+            inst = current.get(index)
+            if inst is not None:
+                inst.notes.append("verify=%s(%s)" % (data.get("outcome"),
+                                                     data.get("reason")))
+        # DISPATCH carries no extra timing (same cycle as RENAME);
+        # REDIRECT / SB_DRAIN have no per-row rendering.
+
+    # Placeholder rows for incarnations that never renamed (fetch-buffer
+    # flushes), so every incarnation is visible in the viewer.
+    for inst in insts:
+        if not inst.rows and inst.fetch is not None:
+            inst.rows.append(_Row(next_rid, inst, None, None))
+            next_rid += 1
+    return insts, edges
+
+
+# Line-ordering priorities at equal cycle: new rows and labels first,
+# then stage ends before stage starts, then retire/flush, then edges.
+_PRI_META, _PRI_END, _PRI_START, _PRI_RETIRE, _PRI_EDGE = 0, 1, 2, 3, 4
+
+
+def write_konata(events: Iterable[TraceEvent],
+                 target: Union[str, IO[str]]) -> int:
+    """Render an event stream as Konata text; returns the row count."""
+    insts, edges = _build(events)
+    lines: List[Tuple[int, int, int, str]] = []
+    order = 0
+
+    def put(cycle: int, priority: int, text: str) -> None:
+        nonlocal order
+        lines.append((cycle, priority, order, text))
+        order += 1
+
+    def stage(row: _Row, name: str, start: int, end: int) -> None:
+        if end <= start:
+            end = start + 1
+        put(start, _PRI_START, "S\t%d\t0\t%s" % (row.rid, name))
+        put(end, _PRI_END, "E\t%d\t0\t%s" % (row.rid, name))
+
+    retire_seq = 0
+    for inst in insts:
+        start_cycle = inst.fetch if inst.fetch is not None else inst.rename
+        if start_cycle is None:
+            continue
+        for row in inst.rows:
+            label = "[%d] %s" % (inst.index, inst.asm or "(fetch)")
+            if row.uop_kind is not None and len(inst.rows) > 1:
+                label += " · " + row.uop_kind
+            detail_parts = []
+            if inst.pc is not None:
+                detail_parts.append("pc=0x%x" % inst.pc)
+            if row.uop_seq is not None:
+                detail_parts.append("uop=%d(%s)" % (row.uop_seq,
+                                                    row.uop_kind))
+            if inst.load_kind is not None:
+                detail_parts.append("load=%s" % inst.load_kind)
+            detail_parts.extend(inst.notes)
+            put(start_cycle, _PRI_META, "I\t%d\t%d\t0"
+                % (row.rid, inst.index))
+            put(start_cycle, _PRI_META, "L\t%d\t0\t%s" % (row.rid, label))
+            if detail_parts:
+                put(start_cycle, _PRI_META,
+                    "L\t%d\t1\t%s" % (row.rid, " ".join(detail_parts)))
+
+            cutoff = inst.flush
+            if inst.fetch is not None:
+                fetch_end = inst.avail if inst.avail is not None \
+                    else inst.fetch + 1
+                if cutoff is not None:
+                    fetch_end = min(fetch_end, max(cutoff, inst.fetch + 1))
+                stage(row, "F", inst.fetch, fetch_end)
+                if inst.rename is not None and inst.rename > fetch_end:
+                    stage(row, "Fb", fetch_end, inst.rename)
+                elif inst.rename is None and cutoff is not None \
+                        and cutoff > fetch_end:
+                    stage(row, "Fb", fetch_end, cutoff)
+            if inst.rename is not None:
+                stage(row, "Rn", inst.rename, inst.rename + 1)
+                wait_from = inst.rename + 1
+                if row.issue is not None:
+                    if row.issue > wait_from:
+                        stage(row, "Ds", wait_from, row.issue)
+                    wb = row.wb if row.wb is not None else cutoff
+                    stage(row, "Ex", row.issue,
+                          wb if wb is not None else row.issue + 1)
+                    if row.wb is not None:
+                        stage(row, "Wb", row.wb, row.wb + 1)
+                elif cutoff is not None and cutoff > wait_from:
+                    stage(row, "Ds", wait_from, cutoff)
+            if inst.retire is not None:
+                stage(row, "Cm", inst.retire, inst.retire + 1)
+                put(inst.retire + 1, _PRI_RETIRE,
+                    "R\t%d\t%d\t0" % (row.rid, retire_seq))
+                retire_seq += 1
+            elif inst.flush is not None:
+                put(inst.flush, _PRI_RETIRE,
+                    "R\t%d\t%d\t1" % (row.rid, retire_seq))
+                retire_seq += 1
+
+    for consumer, producer, at_cycle in edges:
+        # The producer renamed no later than the consumer, so at the
+        # consumer's rename cycle both I records already exist.
+        put(at_cycle, _PRI_EDGE, "W\t%d\t%d\t0" % (consumer, producer))
+
+    lines.sort(key=lambda item: (item[0], item[1], item[2]))
+
+    own = isinstance(target, str)
+    handle = open(target, "w", encoding="utf-8") if own else target
+    try:
+        handle.write("Kanata\t0004\n")
+        cycle = lines[0][0] if lines else 0
+        handle.write("C=\t%d\n" % cycle)
+        for line_cycle, _pri, _ord, text in lines:
+            if line_cycle > cycle:
+                handle.write("C\t%d\n" % (line_cycle - cycle))
+                cycle = line_cycle
+            handle.write(text + "\n")
+    finally:
+        if own:
+            handle.close()
+    return sum(len(inst.rows) for inst in insts)
+
+
+class KonataRecord:
+    """One parsed Konata row."""
+
+    __slots__ = ("rid", "instr_id", "label", "detail", "stages",
+                 "retire_cycle", "flushed")
+
+    def __init__(self, rid: int, instr_id: int):
+        self.rid = rid
+        self.instr_id = instr_id
+        self.label = ""
+        self.detail = ""
+        self.stages: Dict[str, Tuple[int, int]] = {}
+        self.retire_cycle: Optional[int] = None
+        self.flushed = False
+
+
+def parse_konata(source: Union[str, IO[str]]) -> Dict[int, KonataRecord]:
+    """Strict Kanata reader: returns {row id: KonataRecord}.
+
+    Raises ValueError on a malformed file (unknown command, missing
+    header, stage closed before it opened, reference to an unknown id);
+    used by the trace smoke test and the CI trace step.
+    """
+    own = isinstance(source, str)
+    handle = open(source, "r", encoding="utf-8") if own else source
+    try:
+        lines = handle.read().splitlines()
+    finally:
+        if own:
+            handle.close()
+    if not lines or not lines[0].startswith("Kanata"):
+        raise ValueError("not a Kanata file (missing 'Kanata' header)")
+
+    records: Dict[int, KonataRecord] = {}
+    open_stages: Dict[Tuple[int, str], int] = {}
+    cycle = 0
+
+    def rec(rid_text: str) -> KonataRecord:
+        record = records.get(int(rid_text))
+        if record is None:
+            raise ValueError("line %d references unknown id %s"
+                             % (lineno, rid_text))
+        return record
+
+    for lineno, line in enumerate(lines[1:], 2):
+        if not line:
+            continue
+        parts = line.split("\t")
+        cmd = parts[0]
+        if cmd == "C=":
+            cycle = int(parts[1])
+        elif cmd == "C":
+            step = int(parts[1])
+            if step < 0:
+                raise ValueError("line %d: negative cycle step" % lineno)
+            cycle += step
+        elif cmd == "I":
+            rid = int(parts[1])
+            if rid in records:
+                raise ValueError("line %d: duplicate id %d" % (lineno, rid))
+            records[rid] = KonataRecord(rid, int(parts[2]))
+        elif cmd == "L":
+            record = rec(parts[1])
+            text = parts[3] if len(parts) > 3 else ""
+            if int(parts[2]) == 0:
+                record.label += text
+            else:
+                record.detail += text
+        elif cmd == "S":
+            record = rec(parts[1])
+            key = (record.rid, parts[3])
+            if key in open_stages:
+                raise ValueError("line %d: stage %s reopened" % (lineno,
+                                                                 parts[3]))
+            open_stages[key] = cycle
+        elif cmd == "E":
+            record = rec(parts[1])
+            key = (record.rid, parts[3])
+            if key not in open_stages:
+                raise ValueError("line %d: stage %s ended before start"
+                                 % (lineno, parts[3]))
+            record.stages[parts[3]] = (open_stages.pop(key), cycle)
+        elif cmd == "R":
+            record = rec(parts[1])
+            if int(parts[3]):
+                record.flushed = True
+            else:
+                record.retire_cycle = cycle
+        elif cmd == "W":
+            rec(parts[1])
+            rec(parts[2])
+        else:
+            raise ValueError("line %d: unknown command %r" % (lineno, cmd))
+    if open_stages:
+        raise ValueError("unterminated stages: %r" % sorted(open_stages))
+    return records

@@ -1,0 +1,155 @@
+"""Structured metrics built from pipeline trace events.
+
+:class:`MetricsAccumulator` folds :class:`repro.obs.tracer.TraceEvent`
+records into histograms and counters; it backs both the online
+:class:`repro.obs.tracer.MetricsTracer` (no event storage) and the
+offline :func:`build_metrics` path (events already recorded or re-read
+from a JSONL stream).
+
+The report is a plain-JSON-serialisable dict: every enum key is rendered
+as its ``.value`` string and histogram keys are stringified integers, so
+``json.dumps(report)`` always works and two equal reports serialise
+identically (sorted keys).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, Optional
+
+from .tracer import EventKind, TraceEvent
+
+
+def _sorted_hist(counter: Counter) -> Dict[str, int]:
+    """Counter -> {str(key): count} with zero entries dropped, int keys
+    sorted numerically (so "2" < "10")."""
+    items = [(key, count) for key, count in counter.items() if count]
+    try:
+        items.sort(key=lambda kv: (0, int(kv[0])))
+    except (TypeError, ValueError):
+        items.sort(key=lambda kv: (1, str(kv[0])))
+    return {str(key): count for key, count in items}
+
+
+class MetricsAccumulator:
+    """Streaming aggregation of trace events into report histograms."""
+
+    def __init__(self) -> None:
+        # Load latency (rename -> value ready, cycles) by LoadKind value.
+        self.load_latency: Dict[str, Counter] = {}
+        self.lowconf_latency = Counter()
+        # Squash-cause breakdown (full flushes) + front-end redirects.
+        self.squash_causes = Counter()
+        self.squashed_instructions = 0
+        # Store-buffer occupancy sampled at drain events.
+        self.sb_occupancy = Counter()
+        self.sb_drained_entries = 0
+        # Issue-queue wait (dispatch -> issue) and execute (issue -> wb).
+        self.iq_wait = Counter()
+        self.exec_latency = Counter()
+        # Dependence prediction and verification behaviour.
+        self.dep_confidence = Counter()
+        self.dep_applied = 0
+        self.dep_predictions = 0
+        self.predications = Counter()
+        self.verify_outcomes = Counter()
+        self.verify_reasons = Counter()
+        # Event and instruction-level totals.
+        self.event_counts = Counter()
+        self.retired = 0
+        self.first_cycle: Optional[int] = None
+        self.last_cycle: Optional[int] = None
+        # Per-uop dispatch/issue timestamps for the wait histograms.
+        self._dispatch_cycle: Dict[int, int] = {}
+        self._issue_cycle: Dict[int, int] = {}
+
+    # -- streaming ---------------------------------------------------------
+
+    def feed(self, event: TraceEvent) -> None:
+        kind = event.kind
+        cycle = event.cycle
+        data = event.data
+        self.event_counts[kind.value] += 1
+        if self.first_cycle is None or cycle < self.first_cycle:
+            self.first_cycle = cycle
+        if self.last_cycle is None or cycle > self.last_cycle:
+            self.last_cycle = cycle
+
+        if kind is EventKind.RETIRE:
+            self.retired += 1
+            load_kind = data.get("load_kind")
+            if load_kind is not None:
+                hist = self.load_latency.get(load_kind)
+                if hist is None:
+                    hist = self.load_latency[load_kind] = Counter()
+                hist[data["exec_time"]] += 1
+                if data.get("lowconf"):
+                    self.lowconf_latency[data["exec_time"]] += 1
+        elif kind is EventKind.DISPATCH:
+            self._dispatch_cycle[event.uop] = cycle
+        elif kind is EventKind.ISSUE:
+            dispatched = self._dispatch_cycle.pop(event.uop, None)
+            if dispatched is not None:
+                self.iq_wait[cycle - dispatched] += 1
+            self._issue_cycle[event.uop] = cycle
+        elif kind is EventKind.WRITEBACK:
+            issued = self._issue_cycle.pop(event.uop, None)
+            if issued is not None:
+                self.exec_latency[cycle - issued] += 1
+        elif kind is EventKind.SQUASH:
+            self.squash_causes[data["cause"]] += 1
+            self.squashed_instructions += len(data.get("flushed", ()))
+        elif kind is EventKind.REDIRECT:
+            self.squash_causes["branch_mispredict"] += 1
+        elif kind is EventKind.SB_DRAIN:
+            self.sb_occupancy[data["occ"]] += 1
+            self.sb_drained_entries += data["n"]
+        elif kind is EventKind.DEP_PREDICT:
+            self.dep_predictions += 1
+            self.dep_confidence[data["conf"]] += 1
+            if data.get("applied"):
+                self.dep_applied += 1
+        elif kind is EventKind.PREDICATION:
+            self.predications["store" if data["sel_store"] else "cache"] += 1
+        elif kind is EventKind.VERIFY:
+            self.verify_outcomes[data["outcome"]] += 1
+            self.verify_reasons[data["reason"]] += 1
+
+    def feed_all(self, events: Iterable[TraceEvent]) -> "MetricsAccumulator":
+        for event in events:
+            self.feed(event)
+        return self
+
+    # -- report ------------------------------------------------------------
+
+    def report(self) -> Dict[str, object]:
+        """JSON-ready structured metrics (all keys are strings)."""
+        load_latency = {kind: _sorted_hist(hist)
+                        for kind, hist in sorted(self.load_latency.items())}
+        return {
+            "events": _sorted_hist(self.event_counts),
+            "cycles": {
+                "first": self.first_cycle,
+                "last": self.last_cycle,
+            },
+            "retired_instructions": self.retired,
+            "load_latency_by_kind": load_latency,
+            "lowconf_load_latency": _sorted_hist(self.lowconf_latency),
+            "squash_causes": _sorted_hist(self.squash_causes),
+            "squashed_instructions": self.squashed_instructions,
+            "sb_occupancy_at_drain": _sorted_hist(self.sb_occupancy),
+            "sb_drained_entries": self.sb_drained_entries,
+            "iq_wait_cycles": _sorted_hist(self.iq_wait),
+            "exec_latency_cycles": _sorted_hist(self.exec_latency),
+            "dep_predictions": self.dep_predictions,
+            "dep_predictions_applied": self.dep_applied,
+            "dep_confidence": _sorted_hist(self.dep_confidence),
+            "predication_selected": _sorted_hist(self.predications),
+            "verify_outcomes": _sorted_hist(self.verify_outcomes),
+            "verify_reasons": _sorted_hist(self.verify_reasons),
+        }
+
+
+def build_metrics(events: Iterable[TraceEvent]) -> Dict[str, object]:
+    """One-shot metrics report from a recorded (or re-read) event stream."""
+    return MetricsAccumulator().feed_all(events).report()

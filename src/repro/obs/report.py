@@ -1,0 +1,82 @@
+"""Human-readable summary of a JSONL pipeline trace.
+
+Backs the ``repro trace-report`` CLI command: reads a trace produced by
+``repro run --trace out.jsonl``, folds it through the metrics
+accumulator, and renders the structured report as ASCII tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, IO, Union
+
+from .jsonl import iter_jsonl
+from .metrics import build_metrics
+
+
+def summarize_jsonl(source: Union[str, IO[str]]) -> Dict[str, object]:
+    """Metrics report dict for one JSONL trace file (streamed)."""
+    return build_metrics(iter_jsonl(source))
+
+
+def _hist_stats(hist: Dict[str, int]) -> Dict[str, float]:
+    """count / mean / max over a {str(int): count} histogram."""
+    total = sum(hist.values())
+    if not total:
+        return {"count": 0, "mean": 0.0, "max": 0}
+    weighted = sum(int(value) * count for value, count in hist.items())
+    return {"count": total, "mean": weighted / total,
+            "max": max(int(value) for value in hist)}
+
+
+def format_trace_report(report: Dict[str, object]) -> str:
+    """Render the metrics report (as built by :func:`summarize_jsonl`)."""
+    from ..harness.reporting import format_table  # deferred: avoid cycle
+
+    sections = []
+    cycles = report.get("cycles") or {}
+    head = [
+        ["events", sum((report.get("events") or {}).values())],
+        ["retired instructions", report.get("retired_instructions", 0)],
+        ["first cycle", cycles.get("first")],
+        ["last cycle", cycles.get("last")],
+        ["dependence predictions", report.get("dep_predictions", 0)],
+        ["  applied (store in flight)",
+         report.get("dep_predictions_applied", 0)],
+        ["squashed instructions", report.get("squashed_instructions", 0)],
+        ["store-buffer entries drained",
+         report.get("sb_drained_entries", 0)],
+    ]
+    sections.append(format_table(["metric", "value"], head,
+                                 title="Trace summary"))
+
+    rows = []
+    for kind, hist in (report.get("load_latency_by_kind") or {}).items():
+        stats = _hist_stats(hist)
+        rows.append([kind, stats["count"], stats["mean"], stats["max"]])
+    if rows:
+        sections.append(format_table(
+            ["load kind", "count", "mean latency", "max"], rows,
+            title="Load latency by kind", float_fmt="%.2f"))
+
+    squash = report.get("squash_causes") or {}
+    if squash:
+        sections.append(format_table(
+            ["cause", "squashes"], sorted(squash.items()),
+            title="Squash causes"))
+
+    verify = report.get("verify_outcomes") or {}
+    if verify:
+        sections.append(format_table(
+            ["outcome", "loads"], sorted(verify.items()),
+            title="Verification outcomes"))
+
+    occupancy = report.get("sb_occupancy_at_drain") or {}
+    if occupancy:
+        stats = _hist_stats(occupancy)
+        rows = [[occ, count] for occ, count in occupancy.items()]
+        rows.append(["mean", stats["mean"]])
+        sections.append(format_table(
+            ["occupancy", "drain events"], rows,
+            title="Store-buffer occupancy at drain", float_fmt="%.2f"))
+
+    return "\n\n".join(sections)

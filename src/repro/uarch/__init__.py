@@ -11,7 +11,7 @@ from .params import (
     baseline_params,
     model_params,
 )
-from .stats import LoadKind, LowConfOutcome, SimStats
+from .stats import LoadKind, LowConfOutcome, SimStats, SquashCause
 from .branch import BranchPredictor, Btb, GShare, ReturnAddressStack
 from .cachesim import Dram, MemoryHierarchy, SetAssocCache
 from .tlb import Tlb
@@ -30,7 +30,7 @@ __all__ = [
     "CacheParams", "ConfidencePolicy", "Consistency", "CoreParams",
     "EnergyParams", "ModelKind", "PredictorParams", "baseline_params",
     "model_params",
-    "LoadKind", "LowConfOutcome", "SimStats",
+    "LoadKind", "LowConfOutcome", "SimStats", "SquashCause",
     "BranchPredictor", "Btb", "GShare", "ReturnAddressStack",
     "Dram", "MemoryHierarchy", "SetAssocCache", "Tlb",
     "PhysRegFile", "RegfileError", "SsnState", "StoreRegisterBuffer",

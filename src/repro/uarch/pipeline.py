@@ -31,13 +31,14 @@ from ..isa.registers import (NUM_ARCH_REGS, NUM_LOGICAL_REGS, REG_AGI,
 from ..kernel.cpu import WORD_MASK, alu_result, sign_extend
 from ..kernel.memory import SparseMemory
 from ..kernel.trace import TraceEntry
+from ..obs.tracer import NULL_TRACER, PipelineTracer
 from .branch import BranchPredictor
 from .cachesim import MemoryHierarchy
 from .distance_predictor import StoreDistancePredictor
 from .params import CoreParams, ModelKind
 from .regfile import PhysRegFile
 from .ssn import SsnState, StoreRegisterBuffer
-from .stats import LoadKind, LowConfOutcome, SimStats
+from .stats import LoadKind, LowConfOutcome, SimStats, SquashCause
 from .storebuffer import StoreBuffer
 from .storesets import StoreSets
 from .tage_predictor import TageDistancePredictor
@@ -121,12 +122,22 @@ class Simulator:
     """One simulation run: a trace executed under one configuration."""
 
     def __init__(self, program: Program, trace: List[TraceEntry],
-                 params: CoreParams, track_arch_state: bool = False):
+                 params: CoreParams, track_arch_state: bool = False,
+                 tracer: Optional[PipelineTracer] = None):
         self.program = program
         self.trace = trace
         self.params = params
         self.model = params.model
         self.stats = SimStats()
+
+        # Observability (DESIGN.md section 10).  ``self._tr`` is None
+        # unless an *enabled* tracer was supplied, so every hook site in
+        # the hot loop costs exactly one attribute check when tracing is
+        # off.  Tracer hooks are read-only observers: enabling one must
+        # never change timing or statistics.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._tr = tracer if (tracer is not None and tracer.enabled) \
+            else None
 
         # Optional committed architectural register file, maintained at
         # retire from the values the pipeline actually obtained (so the
@@ -163,6 +174,8 @@ class Simulator:
         self.sb = StoreBuffer(params.store_buffer_entries, params.consistency,
                               params.store_coalescing,
                               rmo_parallelism=params.dram_banks)
+        # Occupancy-at-drain sampling happens inside the buffer itself.
+        self.sb.tracer = self._tr
 
         # Architectural memory image evolved by *committed* stores only.
         self.timing_mem = SparseMemory()
@@ -457,12 +470,15 @@ class Simulator:
         cycle = self.cycle
         pop = heapq.heappop
         done = UopState.DONE
+        tr = self._tr
         while heap and heap[0][0] <= cycle:
             uop = pop(heap)[2]
             if uop.dead:
                 continue
             uop.state = done
             uop.instr.pending_uops -= 1
+            if tr is not None:
+                tr.on_writeback(uop, cycle)
             self._complete_uop(uop)
 
     def _complete_uop(self, uop: Uop) -> None:
@@ -486,10 +502,15 @@ class Simulator:
         elif uop.kind is UopKind.BRANCH and instr.mispredicted_branch:
             if self.pending_branch is instr:
                 # Redirect resolved: refill the front end after the usual
-                # pipeline-depth bubble.
+                # pipeline-depth bubble.  Counted as a (front-end) squash
+                # cause so branch and memory recoveries stay separable.
                 self.pending_branch = None
                 self.fetch_blocked_until = (
                     self.cycle + self.params.frontend_depth)
+                self.stats.squash_causes[
+                    SquashCause.BRANCH_MISPREDICT] += 1
+                if self._tr is not None:
+                    self._tr.on_redirect(instr.rob_id, self.cycle)
         self._maybe_set_ready(uop)
 
     def _maybe_set_ready(self, uop: Uop, write: bool = True) -> None:
@@ -624,6 +645,8 @@ class Simulator:
         ready = instr.result_ready_cycle(prf)
         exec_time = max(0, (ready if ready is not None else instr.rename_cycle)
                         - instr.rename_cycle)
+        if self._tr is not None:
+            self._tr.on_retire(instr, self.cycle, exec_time)
         stats.insn_exec_time_total += exec_time
         if dec.is_load:
             stats.record_load(li.mode, exec_time, li.low_confidence)
@@ -726,6 +749,9 @@ class Simulator:
         te = head.trace
 
         if self.model is ModelKind.PERFECT:
+            if self._tr is not None:
+                self._tr.on_verify(te.index, self.cycle, "ok", "oracle",
+                                   True)
             return "ok"
 
         if self.model is ModelKind.BASELINE:
@@ -735,7 +761,13 @@ class Simulator:
                     self.storesets.on_violation(te.pc, self.trace[dep].pc)
                     self.stats.energy_event("store_sets_access")
                 li.violation = True
+                if self._tr is not None:
+                    self._tr.on_verify(te.index, self.cycle, "violation",
+                                       "value_mismatch", False)
                 return "violation"
+            if self._tr is not None:
+                self._tr.on_verify(te.index, self.cycle, "ok",
+                                   "value_match", True)
             return "ok"
 
         # NoSQ / DMDP: SVW + T-SSBF verification (paper Table II).
@@ -750,18 +782,27 @@ class Simulator:
         result = li.tssbf_result
 
         need_reexec = False
+        reason = ""
         if li.value_from_store:
             if not result.matched or result.ssn != li.ssn_byp:
                 need_reexec = True
+                reason = "ssn_mismatch"
             elif (result.store_bab & te.bab) != te.bab:
                 need_reexec = True  # partial coverage, paper Fig. 11
+                reason = "partial_coverage"
             elif li.obtained_value is None:
                 need_reexec = True  # forward could not supply all bytes
+                reason = "uncovered_forward"
         else:
             if result.ssn > (li.ssn_nvul or 0):
                 need_reexec = True
+                reason = "svw_vulnerable"
 
         if not need_reexec:
+            if self._tr is not None:
+                self._tr.on_verify(te.index, self.cycle, "filtered",
+                                   "forward_match" if li.value_from_store
+                                   else "svw_filtered", result.matched)
             self._train_predictor(head, correct=li.predicted
                                   and result.matched
                                   and result.ssn == li.ssn_byp,
@@ -774,6 +815,9 @@ class Simulator:
         self.stats.reexecutions += 1
         li.reexec_scheduled = True
         li.reexec_done_cycle = self.hier.access(te.mem_addr, self.cycle)
+        if self._tr is not None:
+            self._tr.on_verify(te.index, self.cycle, "reexec", reason,
+                               result.matched)
         return "wait" if li.reexec_done_cycle > self.cycle else \
             self._finish_reexecution(head)
 
@@ -784,6 +828,11 @@ class Simulator:
         changed = reloaded != li.obtained_value
         if not changed:
             self.stats.silent_reexecutions += 1
+        if self._tr is not None:
+            self._tr.on_verify(te.index, self.cycle,
+                               "violation" if changed else "reexec_ok",
+                               "value_changed" if changed else "silent",
+                               False)
         self._train_predictor(head, correct=False, reexecuted=True)
         if changed:
             li.violation = True
@@ -820,6 +869,11 @@ class Simulator:
     def _squash_younger(self, retired_load: DynInstr) -> None:
         """Full recovery: flush everything younger than the violating load."""
         self.stats.energy_event("recovery_overhead")
+        self.stats.squash_causes[SquashCause.MEM_DEP_VIOLATION] += 1
+        if self._tr is not None:
+            self._tr.on_squash(SquashCause.MEM_DEP_VIOLATION, self.cycle,
+                               retired_load.rob_id,
+                               [instr.rob_id for instr in self.rob])
         for instr in self.rob:
             instr.dead = True
             for uop in instr.uops:
@@ -954,6 +1008,8 @@ class Simulator:
     def _start_execution(self, uop: Uop) -> None:
         uop.state = UopState.ISSUED
         uop.issue_cycle = self.cycle
+        if self._tr is not None:
+            self._tr.on_issue(uop, self.cycle)
         self.iq_occupancy -= 1
         ee = self._ee
         ee["iq_issue"] += 1
@@ -1059,6 +1115,8 @@ class Simulator:
             fetch_buffer.popleft()
             instr = self._crack_and_rename(trace[index], dec)
             rob.append(instr)
+            if self._tr is not None:
+                self._tr.on_rename(instr, cycle)
             budget -= len(instr.uops) if instr.uops else 1
 
     # -- rename plumbing -----------------------------------------------------
@@ -1242,6 +1300,12 @@ class Simulator:
                 li.ssn_byp = ssn_byp
                 li.dep_trace_index = entry.trace_index
                 self.stats.dep_predictions += 1
+            if self._tr is not None:
+                self._tr.on_dep_predict(
+                    te.index, self.cycle, te.pc, prediction.confidence,
+                    prediction.distance, ssn_byp,
+                    entry.trace_index if entry is not None else None,
+                    entry is not None)
 
         if entry is None:
             # Independent (or the predicted store already committed):
@@ -1368,6 +1432,9 @@ class Simulator:
         selected_store = _covers(dep, te)
         cmov_store.cmov_selected = selected_store
         cmov_cache.cmov_selected = not selected_store
+        if self._tr is not None:
+            self._tr.on_predication(te.index, self.cycle, low_confidence,
+                                    selected_store)
 
     # ------------------------------------------------------------------
     # Stage: fetch.
@@ -1387,12 +1454,15 @@ class Simulator:
         dec_by_index = self._dec_by_index
         mispredicted = self._mispredicted
         ee = self._ee
+        tr = self._tr
         while fetched < width and self.fetch_index < total:
             index = self.fetch_index
             fetch_buffer.append((avail, index))
             self.fetch_index += 1
             fetched += 1
             ee["fetch_decode"] += 1
+            if tr is not None:
+                tr.on_fetch(index, trace[index].pc, self.cycle, avail)
             if dec_by_index[index].is_control:
                 if mispredicted[index]:
                     # Stall fetch until this branch resolves; the resumption
@@ -1421,6 +1491,7 @@ class Simulator:
 
 
 def simulate(program: Program, trace: List[TraceEntry],
-             params: CoreParams) -> SimStats:
+             params: CoreParams,
+             tracer: Optional[PipelineTracer] = None) -> SimStats:
     """Run the timing model once and return its statistics."""
-    return Simulator(program, trace, params).run()
+    return Simulator(program, trace, params, tracer=tracer).run()

@@ -37,6 +37,24 @@ class LowConfOutcome(enum.Enum):
     CORRECT = "Correct"         # prediction was right
 
 
+class SquashCause(enum.Enum):
+    """Why the front end restarted / in-flight work was thrown away.
+
+    ``MEM_DEP_VIOLATION`` counts full-pipeline flushes (everything younger
+    than the violating load dies and is refetched).  ``BRANCH_MISPREDICT``
+    counts resolved branch redirects: the trace-driven front end never
+    fetches the wrong path, so the discarded work is the fetch bubble
+    rather than ROB entries, but each event still pays the refill penalty
+    and is accounted separately so the two recovery mechanisms can be told
+    apart in any model's statistics.
+    """
+
+    __hash__ = object.__hash__
+
+    BRANCH_MISPREDICT = "branch_mispredict"
+    MEM_DEP_VIOLATION = "mem_dep_violation"
+
+
 @dataclass
 class SimStats:
     """Mutable accumulator for one simulation run."""
@@ -64,6 +82,8 @@ class SimStats:
     # Memory dependence machinery.
     dep_predictions: int = 0            # loads predicted dependent
     dep_mispredictions: int = 0         # full-recovery violations
+    # Squash/redirect accounting by cause (SquashCause -> count).
+    squash_causes: Counter = field(default_factory=Counter)
     reexecutions: int = 0
     reexec_stall_cycles: int = 0
     sb_full_stall_cycles: int = 0
@@ -168,6 +188,11 @@ class SimStats:
             else:
                 out[f.name] = value
         return out
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """JSON text of :meth:`to_dict` (enum keys as ``.value`` strings)."""
+        import json
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
     def summary(self) -> Dict[str, float]:
         return {

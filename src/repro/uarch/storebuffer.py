@@ -52,6 +52,9 @@ class StoreBuffer:
         self.entries: List[StoreBufferEntry] = []
         self.coalesced_stores = 0
         self.peak_occupancy = 0
+        # Optional pipeline tracer (None = off): samples occupancy at
+        # drain events, one attribute check per tick when disabled.
+        self.tracer = None
 
     # -- occupancy ------------------------------------------------------------
 
@@ -183,4 +186,6 @@ class StoreBuffer:
                          if e.started and e.done_cycle <= cycle]
             for entry in completed:
                 self.entries.remove(entry)
+        if completed and self.tracer is not None:
+            self.tracer.on_sb_drain(cycle, len(self.entries), len(completed))
         return completed

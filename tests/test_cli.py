@@ -59,3 +59,72 @@ class TestCommands:
                              "--workloads", "bzip2")
         assert code == 0
         assert "Table VI" in text and "bzip2" in text
+
+
+class TestObservabilityCommands:
+    def test_run_stats_json_stdout(self):
+        import json
+        code, text = run_cli("--scale", "0.05", "run", "bzip2",
+                             "--stats-json")
+        assert code == 0
+        payload = json.loads(text[text.index("\n{") + 1:])
+        assert payload["instructions"] > 0
+        assert "squash_causes" in payload
+
+    def test_run_stats_json_file(self, tmp_path):
+        import json
+        path = str(tmp_path / "stats.json")
+        code, text = run_cli("--scale", "0.05", "run", "bzip2",
+                             "--stats-json", path)
+        assert code == 0 and path in text
+        with open(path) as handle:
+            assert json.load(handle)["instructions"] > 0
+
+    def test_run_trace_konata(self, tmp_path):
+        from repro.obs import parse_konata
+        path = str(tmp_path / "out.konata")
+        code, text = run_cli("--scale", "0.05", "run", "bzip2",
+                             "--model", "dmdp", "--trace", path)
+        assert code == 0 and "konata" in text
+        assert len(parse_konata(path)) > 0
+
+    def test_run_trace_jsonl_window_and_report(self, tmp_path):
+        from repro.obs import read_jsonl
+        path = str(tmp_path / "out.jsonl")
+        code, _ = run_cli("--scale", "0.05", "run", "bzip2",
+                          "--model", "dmdp", "--trace", path,
+                          "--trace-window", "10:60")
+        assert code == 0
+        indexed = [e for e in read_jsonl(path) if e.index is not None]
+        assert indexed and all(10 <= e.index < 60 for e in indexed)
+        code, text = run_cli("trace-report", path)
+        assert code == 0
+        assert "Trace summary" in text
+        code, text = run_cli("trace-report", path, "--json")
+        assert code == 0 and '"retired_instructions"' in text
+
+    def test_run_metrics_file(self, tmp_path):
+        import json
+        path = str(tmp_path / "metrics.json")
+        code, text = run_cli("--scale", "0.05", "run", "bzip2",
+                             "--model", "dmdp", "--metrics", path)
+        assert code == 0 and path in text
+        with open(path) as handle:
+            report = json.load(handle)
+        assert report["retired_instructions"] > 0
+
+    def test_bad_trace_window_errors(self, tmp_path):
+        code, text = run_cli("--scale", "0.05", "run", "bzip2",
+                             "--trace", str(tmp_path / "x.konata"),
+                             "--trace-window", "nope")
+        assert code == 2 and "trace window" in text
+
+    def test_trace_report_missing_file(self):
+        code, text = run_cli("trace-report", "/nonexistent/trace.jsonl")
+        assert code == 1 and "cannot read" in text
+
+    def test_trace_report_malformed_file(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        code, text = run_cli("trace-report", str(path))
+        assert code == 1 and "malformed" in text

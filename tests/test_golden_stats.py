@@ -18,9 +18,14 @@ from pathlib import Path
 import pytest
 
 from repro.kernel import FunctionalCpu
+from repro.obs import NullTracer, RecordingTracer
 from repro.uarch import ModelKind, model_params
 from repro.uarch.pipeline import Simulator
 from repro.workloads import get_workload
+
+# Tracers are read-only observers: the pinned statistics must hold with
+# tracing off (the default NullTracer) and with full event recording on.
+TRACERS = {"null": NullTracer, "recording": RecordingTracer}
 
 GOLDEN_PATH = Path(__file__).parent / "golden" / "golden_stats.json"
 
@@ -49,17 +54,19 @@ def _points():
         yield pytest.param(workload, ModelKind(model), id=key)
 
 
+@pytest.mark.parametrize("tracer_kind", sorted(TRACERS))
 @pytest.mark.parametrize("workload, model", _points())
-def test_stats_match_pinned_golden(workload, model):
+def test_stats_match_pinned_golden(workload, model, tracer_kind):
     program, trace = _trace_for(workload)
-    stats = Simulator(program, trace, model_params(model)).run()
+    stats = Simulator(program, trace, model_params(model),
+                      tracer=TRACERS[tracer_kind]()).run()
     got = stats.to_dict()
     want = GOLDEN["points"]["%s/%s" % (workload, model.value)]
     if got != want:
         diff = {k: (want.get(k), got.get(k))
                 for k in set(want) | set(got) if want.get(k) != got.get(k)}
-        pytest.fail("SimStats diverged from golden for %s/%s: %r"
-                    % (workload, model.value, diff))
+        pytest.fail("SimStats diverged from golden for %s/%s (tracer=%s): %r"
+                    % (workload, model.value, tracer_kind, diff))
 
 
 def test_golden_covers_every_model():

@@ -56,6 +56,56 @@ class TestRunner:
         assert set(results) == set(SMALL)
 
 
+class TestRunnerObservability:
+    def test_run_traced_matches_untraced_stats(self, runner):
+        from repro.obs import RecordingTracer
+        plain = runner.run("bzip2", ModelKind.DMDP)
+        tracer = RecordingTracer()
+        traced = runner.run_traced("bzip2", ModelKind.DMDP, tracer)
+        assert tracer.events
+        assert traced.stats.to_dict() == plain.stats.to_dict()
+        assert any(p.source == "sim" for p in runner.point_log)
+
+    def test_collect_metrics_keeps_report_per_point(self):
+        metrics_runner = ExperimentRunner(scale=0.05, use_cache=False,
+                                          collect_metrics=True)
+        result = metrics_runner.run("bzip2", ModelKind.DMDP)
+        report = metrics_runner.metrics_for("bzip2", ModelKind.DMDP)
+        assert report is not None
+        assert report["retired_instructions"] == result.stats.instructions
+        assert metrics_runner.metrics_for("bzip2",
+                                          ModelKind.BASELINE) is None
+
+    def test_collect_metrics_skips_disk_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        warm = ExperimentRunner(scale=0.05)
+        warm.run("bzip2", ModelKind.NOSQ)
+        collecting = ExperimentRunner(scale=0.05, collect_metrics=True)
+        collecting.run("bzip2", ModelKind.NOSQ)
+        assert collecting.points_simulated() == 1
+        assert collecting.metrics_for("bzip2", ModelKind.NOSQ) is not None
+
+    def test_collect_metrics_forces_serial_batch(self):
+        from repro.harness import SimPoint
+        collecting = ExperimentRunner(scale=0.05, jobs=4, use_cache=False,
+                                      collect_metrics=True)
+        points = [SimPoint("bzip2", m)
+                  for m in (ModelKind.BASELINE, ModelKind.NOSQ)]
+        results = collecting.run_batch(points)
+        assert len(results) == 2
+        for point in points:
+            assert collecting.metrics_for(point.workload,
+                                          point.model) is not None
+
+    def test_collect_metrics_does_not_perturb_stats(self):
+        plain = ExperimentRunner(scale=0.05, use_cache=False)
+        collecting = ExperimentRunner(scale=0.05, use_cache=False,
+                                      collect_metrics=True)
+        a = plain.run("tonto", ModelKind.DMDP)
+        b = collecting.run("tonto", ModelKind.DMDP)
+        assert a.stats.to_dict() == b.stats.to_dict()
+
+
 class TestReporting:
     def test_geomean(self):
         assert geomean([2.0, 8.0]) == pytest.approx(4.0)
@@ -75,6 +125,30 @@ class TestReporting:
         lines = text.splitlines()
         assert lines[0] == "T"
         assert "1.500" in text and "yy" in text
+
+    def test_format_table_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert text.splitlines()[0].split() == ["a", "b"]
+
+    def test_format_table_ragged_rows_padded(self):
+        text = format_table(["a", "b"], [[1], [1, 2, 3]])
+        lines = text.splitlines()
+        widths = {len(line.split()) for line in lines[2:]}
+        assert widths == {3}   # short row padded, header row widened
+
+    def test_format_table_none_and_nonnumeric_cells(self):
+        text = format_table(["x", "y"], [[None, object()], [True, 1.25]])
+        assert "-" in text and "True" in text and "1.250" in text
+
+    def test_format_run_report_empty(self):
+        from repro.harness.reporting import format_run_report
+        assert format_run_report([]) == "no points resolved"
+        assert format_run_report(None, None) == "no points resolved"
+
+    def test_format_point_log_empty(self):
+        from repro.harness.reporting import format_point_log
+        text = format_point_log([])
+        assert "workload" in text
 
     def test_shape_check(self):
         assert shape_check(5.0, 7.0) == "+"
