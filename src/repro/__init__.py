@@ -31,7 +31,8 @@ from .uarch import (
 )
 from .energy import EnergyReport, edp, energy_report
 from .workloads import ALL_NAMES, FP_NAMES, INT_NAMES, WORKLOADS, get_workload
-from .harness import ExperimentRunner, shared_runner
+from .harness import (BatchFailure, ExperimentRunner, RetryPolicy,
+                      shared_runner)
 
 __version__ = "1.0.0"
 
@@ -62,6 +63,7 @@ __all__ = [
     "baseline_params", "model_params", "run_all_models", "run_model",
     "EnergyReport", "edp", "energy_report",
     "ALL_NAMES", "FP_NAMES", "INT_NAMES", "WORKLOADS", "get_workload",
-    "ExperimentRunner", "shared_runner", "quick_compare",
+    "BatchFailure", "ExperimentRunner", "RetryPolicy",
+    "shared_runner", "quick_compare",
     "__version__",
 ]

@@ -23,7 +23,8 @@ Commands
 ``experiment EXP_ID``
     Reproduce one paper figure/table (see ``list`` for ids).
 ``cache``
-    Inspect or clear the persistent result cache.
+    Inspect or clear the persistent result cache; ``gc`` sweeps ``*.tmp``
+    files orphaned by killed sessions.
 ``bench-hotloop``
     Measure simulator hot-loop throughput (cycles/sec per model) and write
     ``BENCH_hotloop.json``; ``--check`` fails on regression vs. the
@@ -33,6 +34,14 @@ Global flags: ``--jobs N`` fans simulation points out over N worker
 processes; ``--no-cache`` disables the persistent result cache (location:
 ``$REPRO_CACHE_DIR``, default ``.repro-cache``); ``--profile`` runs the
 command under cProfile and prints the top-25 cumulative report.
+
+Fault tolerance (see DESIGN.md Section 11): ``--timeout S`` bounds each
+worker task's wall clock, ``--retries N`` / ``--backoff S`` control the
+retry policy for crashed/timed-out/raising tasks, and ``--keep-going``
+renders partial results plus an explicit failure table instead of
+aborting the sweep.  Completed points are checkpointed to the result
+cache as they resolve, so re-running an interrupted sweep resumes
+where it died.
 """
 
 from __future__ import annotations
@@ -41,9 +50,11 @@ import argparse
 import sys
 from typing import List, Optional
 
-from .harness import ExperimentRunner, ResultCache, SimPoint, hotloop
+from .harness import (BatchFailure, ExperimentRunner, ResultCache,
+                      RetryPolicy, SimPoint, hotloop, make_point)
 from .harness.experiments import ALL_EXPERIMENTS
-from .harness.reporting import format_run_report, format_table
+from .harness.reporting import (format_failure_table, format_run_report,
+                                format_table)
 from .uarch import ALL_MODELS, Consistency, ModelKind
 from .workloads import ALL_NAMES, WORKLOADS
 
@@ -94,6 +105,19 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--profile-output", default=None, metavar="PATH",
                         help="with --profile: dump raw cProfile stats to "
                              "PATH (default: repro.prof)")
+    parser.add_argument("--timeout", type=float, default=None, metavar="S",
+                        help="per-task wall-clock budget in seconds for "
+                             "worker tasks (default: unlimited)")
+    parser.add_argument("--retries", type=int, default=2, metavar="N",
+                        help="retry crashed/timed-out/raising tasks up to "
+                             "N times (default: 2)")
+    parser.add_argument("--backoff", type=float, default=0.25, metavar="S",
+                        help="base retry delay in seconds, doubled per "
+                             "attempt (default: 0.25)")
+    parser.add_argument("--keep-going", action="store_true",
+                        help="on unrecoverable point failures, render "
+                             "partial results plus a failure table "
+                             "instead of aborting the sweep")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list workloads and experiments")
@@ -140,9 +164,9 @@ def build_parser() -> argparse.ArgumentParser:
                               help="print the raw report as JSON")
 
     cache = sub.add_parser("cache",
-                           help="inspect or clear the persistent "
-                                "result cache")
-    cache.add_argument("action", choices=("info", "clear"))
+                           help="inspect, clear, or garbage-collect the "
+                                "persistent result cache")
+    cache.add_argument("action", choices=("info", "clear", "gc"))
 
     bench = sub.add_parser("bench-hotloop",
                            help="measure simulator hot-loop throughput "
@@ -184,8 +208,21 @@ def _add_config_flags(parser) -> None:
 
 
 def _runner(args) -> ExperimentRunner:
+    policy = RetryPolicy(retries=max(0, args.retries),
+                         timeout=args.timeout,
+                         backoff=max(0.0, args.backoff))
     return ExperimentRunner(scale=args.scale, jobs=args.jobs,
-                            use_cache=not args.no_cache)
+                            use_cache=not args.no_cache,
+                            policy=policy, keep_going=args.keep_going)
+
+
+def _report_failures(runner: ExperimentRunner, out) -> int:
+    """Render the failure table for a partial sweep; 1 when any failed."""
+    if not runner.failure_log:
+        return 0
+    print(file=out)
+    print(format_failure_table(runner.failure_log), file=out)
+    return 1
 
 
 def cmd_list(args, out) -> int:
@@ -203,11 +240,15 @@ def cmd_list(args, out) -> int:
 
 def cmd_compare(args, out) -> int:
     runner = _runner(args)
-    runner.run_batch(SimPoint(args.workload, model) for model in ALL_MODELS)
+    resolved = runner.run_batch(SimPoint(args.workload, model)
+                                for model in ALL_MODELS)
     rows = []
     base_ipc = None
     for model in ALL_MODELS:
-        result = runner.run(args.workload, model)
+        result = resolved.get(SimPoint(args.workload, model))
+        if result is None:           # failed point under --keep-going
+            rows.append([model.value, None, None, None, None, None])
+            continue
         if base_ipc is None:
             base_ipc = result.ipc
         stats = result.stats
@@ -217,7 +258,7 @@ def cmd_compare(args, out) -> int:
     print(format_table(
         ["model", "IPC", "vs baseline", "MPKI", "avg load cyc", "EDP(M)"],
         rows, title="%s under the four models" % args.workload), file=out)
-    return 0
+    return _report_failures(runner, out)
 
 
 def cmd_run(args, out) -> int:
@@ -238,7 +279,12 @@ def cmd_run(args, out) -> int:
         result = runner.run_traced(args.workload, args.model, tracer,
                                    **overrides)
     else:
-        result = runner.run(args.workload, args.model, **overrides)
+        # Route through run_batch so the retry policy applies and a
+        # failure renders as a table instead of a stack trace.
+        point = make_point(args.workload, args.model, **overrides)
+        result = runner.run_batch([point]).get(point)
+        if result is None:
+            return _report_failures(runner, out)
     stats = result.stats
     print("workload     %s" % args.workload, file=out)
     print("model        %s" % args.model.value, file=out)
@@ -282,17 +328,20 @@ def cmd_run(args, out) -> int:
 
 def cmd_suite(args, out) -> int:
     runner = _runner(args)
-    runner.run_suite(args.model, **_overrides(args))
+    results = runner.run_suite(args.model, **_overrides(args))
     rows = []
     for name in ALL_NAMES:
-        stats = runner.run(name, args.model, **_overrides(args)).stats
+        if name not in results:      # failed point under --keep-going
+            rows.append([name, None, None, None, None])
+            continue
+        stats = results[name].stats
         rows.append([name, stats.ipc, stats.dep_mpki,
                      stats.avg_load_exec_time,
                      stats.reexec_stalls_per_kilo])
     print(format_table(
         ["workload", "IPC", "MPKI", "avg load cyc", "reexec stalls/k"],
         rows, title="%s across the suite" % args.model.value), file=out)
-    return 0
+    return _report_failures(runner, out)
 
 
 def cmd_experiment(args, out) -> int:
@@ -304,7 +353,7 @@ def cmd_experiment(args, out) -> int:
         print(file=out)
         print(format_run_report(runner.point_log, runner.batch_log),
               file=out)
-    return 0
+    return _report_failures(runner, out)
 
 
 def cmd_trace_report(args, out) -> int:
@@ -332,10 +381,16 @@ def cmd_cache(args, out) -> int:
         print("removed %d cached result(s) from %s" % (removed, cache.root),
               file=out)
         return 0
+    if args.action == "gc":
+        removed = cache.gc()
+        print("swept %d orphaned temp file(s) from %s"
+              % (removed, cache.root), file=out)
+        return 0
     print("cache dir      %s" % cache.root, file=out)
     print("entries        %d" % cache.entry_count(), file=out)
     print("size           %.1f KiB" % (cache.size_bytes() / 1024.0),
           file=out)
+    print("orphaned tmp   %d" % len(cache.tmp_files()), file=out)
     print("code version   %s" % cache.version, file=out)
     return 0
 
@@ -383,6 +438,21 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     args = build_parser().parse_args(argv)
     command = COMMANDS[args.command]
     out = out if out is not None else sys.stdout
+    try:
+        return _dispatch(command, args, out)
+    except BatchFailure as exc:
+        # Sweep aborted after retries: explicit failure table, not a
+        # stack trace.  Everything that completed is already in the
+        # result cache, so re-running resumes instead of restarting.
+        print("error: %s" % exc, file=out)
+        print("(completed points are checkpointed in the result cache; "
+              "re-run to resume, or add --keep-going)", file=out)
+        print(file=out)
+        print(format_failure_table(exc.failures), file=out)
+        return 1
+
+
+def _dispatch(command, args, out) -> int:
     if getattr(args, "profile", False):
         import cProfile
         import pstats

@@ -1,19 +1,24 @@
 """Experiment harness: runner, cache, parallel engine, reproductions."""
 
 from .cache import NullCache, ResultCache, code_version, default_cache_dir
+from .resilience import (BatchFailure, FailedPoint, FaultInjector,
+                         RetryPolicy, parse_fault_spec)
 from .parallel import (BatchTiming, ParallelEngine, PointTiming, SimPoint,
                        make_point)
 from .runner import ExperimentRunner, SimResult, shared_runner
-from .reporting import (format_point_log, format_run_report, format_table,
-                        geomean, percent, shape_check, speedup)
+from .reporting import (format_failure_table, format_point_log,
+                        format_run_report, format_table, geomean, percent,
+                        shape_check, speedup)
 from .experiments import ALL_EXPERIMENTS, ExperimentResult
 from . import hotloop, paper_data
 
 __all__ = [
     "ExperimentRunner", "SimResult", "shared_runner",
     "NullCache", "ResultCache", "code_version", "default_cache_dir",
+    "BatchFailure", "FailedPoint", "FaultInjector", "RetryPolicy",
+    "parse_fault_spec",
     "BatchTiming", "ParallelEngine", "PointTiming", "SimPoint", "make_point",
-    "format_point_log", "format_run_report",
+    "format_failure_table", "format_point_log", "format_run_report",
     "format_table", "geomean", "percent", "shape_check", "speedup",
     "ALL_EXPERIMENTS", "ExperimentResult", "hotloop", "paper_data",
 ]

@@ -26,6 +26,7 @@ import json
 import os
 import pickle
 import tempfile
+import time
 from pathlib import Path
 from typing import Optional
 
@@ -112,7 +113,10 @@ class ResultCache:
         try:
             with open(path, "rb") as handle:
                 result = pickle.load(handle)
-        except (OSError, pickle.PickleError, EOFError, AttributeError):
+        except Exception:
+            # Any unreadable entry -- truncated pickle, garbage bytes,
+            # a payload whose class/module no longer exists -- is a
+            # clean miss; the next put() overwrites (repairs) it.
             self.misses += 1
             return None
         self.hits += 1
@@ -144,10 +148,40 @@ class ResultCache:
         return len(self.entries())
 
     def size_bytes(self) -> int:
-        return sum(path.stat().st_size for path in self.entries())
+        total = 0
+        for path in self.entries():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass    # deleted by a concurrent session between glob+stat
+        return total
+
+    def tmp_files(self):
+        """In-flight (or orphaned) atomic-write temp files."""
+        return sorted(self.root.glob("??/*.tmp"))
+
+    def gc(self, min_age_seconds: float = 0.0) -> int:
+        """Sweep ``*.tmp`` files orphaned by killed sessions.
+
+        A live writer holds its temp file only for the duration of one
+        ``pickle.dump`` + rename, so anything older than
+        ``min_age_seconds`` (default: everything) is an orphan from a
+        session that died mid-put.  Returns the number removed.
+        """
+        removed = 0
+        now = time.time()
+        for path in self.tmp_files():
+            try:
+                if now - path.stat().st_mtime >= min_age_seconds:
+                    path.unlink()
+                    removed += 1
+            except OSError:
+                pass    # vanished (or swept by a concurrent gc)
+        return removed
 
     def clear(self) -> int:
-        """Delete every cached result; returns the number removed."""
+        """Delete every cached result (and sweep orphaned temp files);
+        returns the number of results removed."""
         removed = 0
         for path in self.entries():
             try:
@@ -155,6 +189,7 @@ class ResultCache:
                 removed += 1
             except OSError:
                 pass
+        self.gc()
         return removed
 
 
@@ -178,6 +213,12 @@ class NullCache:
         return 0
 
     def size_bytes(self) -> int:
+        return 0
+
+    def tmp_files(self):
+        return []
+
+    def gc(self, min_age_seconds: float = 0.0) -> int:
         return 0
 
     def clear(self) -> int:

@@ -1,12 +1,32 @@
-"""Parallel fan-out of simulation points over multiprocessing workers.
+"""Parallel fan-out of simulation points over supervised worker processes.
 
 Simulation points are embarrassingly parallel (each is one deterministic
 ``Simulator`` run), so a batch of (workload, model, overrides) points is
-grouped by workload -- one task per workload, so each worker traces a
+grouped by workload -- one task per workload, so a worker traces a
 workload once and reuses that trace for every configuration of it -- and
-mapped over a process pool.  Results come back with per-point wall-clock
-timings; ordering is restored by point key, so a parallel batch is
-byte-identical to a serial one.
+mapped over worker processes.  Results come back with per-point
+wall-clock timings; ordering is restored by point key, so a parallel
+batch is byte-identical to a serial one.
+
+Unlike a ``multiprocessing.Pool`` (whose ``imap_unordered`` re-raises
+the first worker exception -- or hangs forever on a hard worker death --
+and discards every completed task), the engine supervises one process
+per task with its own result pipe:
+
+* a worker that dies (OOM kill, segfault, ``os._exit``) fails only its
+  task; the task is retried on a fresh process per the
+  :class:`~repro.harness.resilience.RetryPolicy`, with deterministic
+  exponential backoff;
+* a task that exceeds the policy's wall-clock ``timeout`` is terminated
+  and retried the same way;
+* a task that exhausts its retries is recorded as
+  :class:`~repro.harness.resilience.FailedPoint` entries (captured
+  traceback included) instead of aborting the batch;
+* if worker processes cannot be started at all, the engine degrades to
+  in-process serial execution (``degraded`` flag) rather than failing;
+* every completed task is streamed to the optional ``on_result``
+  callback *as it resolves*, which is how the runner checkpoints
+  partial sweeps to the disk cache.
 
 Workers run their own in-process :class:`ExperimentRunner` with the disk
 cache disabled: the parent filters cache hits *before* fanning out and is
@@ -17,10 +37,14 @@ from __future__ import annotations
 
 import multiprocessing
 import time
+import traceback
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from multiprocessing.connection import wait as _conn_wait
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..uarch import ModelKind
+from .resilience import FailedPoint, FaultInjector, RetryPolicy
 
 
 @dataclass(frozen=True)
@@ -67,6 +91,9 @@ class BatchTiming:
     jobs: int = 1
     wall_seconds: float = 0.0
     sim_seconds: float = 0.0         # sum of per-point simulation time
+    failed: int = 0                  # points that exhausted their retries
+    retried: int = 0                 # task retry attempts performed
+    timed_out: int = 0               # task timeouts (terminated workers)
 
     @property
     def speedup(self) -> float:
@@ -101,19 +128,87 @@ def _run_task(task):
     return workload, out
 
 
+def _worker_entry(conn, task, scale) -> None:
+    """Process target: run one task, ship ('ok', payload) or ('error', tb).
+
+    The fault-injection hook fires before the simulation so an injected
+    ``kill`` exits without sending anything (the parent observes a dead
+    sentinel), an injected ``raise`` travels back as a captured
+    traceback, and an injected ``sleep`` wedges the task so the parent's
+    timeout enforcement can be exercised.
+    """
+    try:
+        injector = FaultInjector.from_env()
+        if injector is not None:
+            injector.on_task(task[0])
+        _init_worker(scale)
+        payload = _run_task(task)
+        conn.send(("ok", payload))
+    except BaseException:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except OSError:
+            pass                     # parent already gone
+    finally:
+        conn.close()
+
+
 # -- parent side ------------------------------------------------------------
 
 @dataclass
+class _TaskState:
+    """Supervision record for one in-flight or pending task."""
+
+    task: tuple                      # (workload, [(model, overrides), ...])
+    failures: int = 0                # attempts that have failed so far
+    proc: object = None
+    conn: object = None
+    started: float = 0.0
+    deadline: Optional[float] = None
+    not_before: float = 0.0          # backoff gate for the next attempt
+    last_error: str = ""
+
+    @property
+    def workload(self) -> str:
+        return self.task[0]
+
+
+@dataclass
 class ParallelEngine:
-    """Maps batches of :class:`SimPoint` over a worker pool."""
+    """Maps batches of :class:`SimPoint` over supervised worker processes.
+
+    After :meth:`run_points` returns, ``failures`` holds one
+    :class:`FailedPoint` per unresolved point, ``retried``/``timed_out``
+    count recovery actions, and ``degraded`` reports whether the engine
+    fell back to in-process serial execution because workers could not
+    be spawned.
+    """
 
     jobs: int = 1
     scale: Optional[float] = None
     progress: object = None          # optional callable(str)
+    policy: Optional[RetryPolicy] = None
+    on_result: Optional[Callable] = None   # callable(point, result, secs)
+    failures: List[FailedPoint] = field(default_factory=list)
+    retried: int = 0
+    timed_out: int = 0
+    degraded: bool = False
+
+    def _say(self, message: str) -> None:
+        if self.progress is not None:
+            self.progress(message)
 
     def run_points(self, points: List[SimPoint]
                    ) -> Dict[SimPoint, Tuple[object, float]]:
-        """Simulate every point; returns {point: (SimResult, seconds)}."""
+        """Simulate every point; returns {point: (SimResult, seconds)}.
+
+        Points whose task exhausted its retries are absent from the
+        returned dict and recorded in ``self.failures`` instead.
+        """
+        self.failures = []
+        self.retried = 0
+        self.timed_out = 0
+        self.degraded = False
         if not points:
             return {}
         by_workload: Dict[str, List[Tuple[ModelKind, tuple]]] = {}
@@ -122,17 +217,160 @@ class ParallelEngine:
                 (point.model, point.overrides))
         tasks = sorted(by_workload.items())
         results: Dict[SimPoint, Tuple[object, float]] = {}
+        policy = self.policy if self.policy is not None else RetryPolicy()
+        injector = FaultInjector.from_env()
 
-        workers = min(self.jobs, len(tasks))
-        with multiprocessing.Pool(processes=workers,
-                                  initializer=_init_worker,
-                                  initargs=(self.scale,)) as pool:
-            for workload, outcomes in pool.imap_unordered(_run_task, tasks):
-                for model, overrides, result, seconds in outcomes:
-                    results[SimPoint(workload, model, overrides)] = \
-                        (result, seconds)
-                if self.progress is not None:
-                    self.progress("  simulated %-10s (%d point%s)"
-                                  % (workload, len(outcomes),
-                                     "s" if len(outcomes) != 1 else ""))
+        jobs = max(1, int(self.jobs))          # clamp: jobs<1 means serial
+        workers = min(jobs, len(tasks))
+        pending = deque(_TaskState(task=task) for task in tasks)
+        waiting: List[_TaskState] = []         # backing off before retry
+        running: List[_TaskState] = []
+
+        def publish(state: _TaskState, outcomes) -> None:
+            workload = state.workload
+            for model, overrides, result, seconds in outcomes:
+                point = SimPoint(workload, model, overrides)
+                results[point] = (result, seconds)
+                if self.on_result is not None:
+                    self.on_result(point, result, seconds)
+            self._say("  simulated %-10s (%d point%s)%s"
+                      % (workload, len(outcomes),
+                         "s" if len(outcomes) != 1 else "",
+                         "  [attempt %d]" % (state.failures + 1)
+                         if state.failures else ""))
+
+        def fail(state: _TaskState, kind: str, detail: str) -> None:
+            state.failures += 1
+            state.last_error = detail
+            if kind == "timeout":
+                self.timed_out += 1
+            if state.failures <= policy.retries:
+                self.retried += 1
+                state.not_before = (time.monotonic()
+                                    + policy.delay_for(state.failures))
+                waiting.append(state)
+                self._say("  %s %-10s -- retry %d/%d"
+                          % (kind, state.workload, state.failures,
+                             policy.retries))
+                return
+            for model, overrides in state.task[1]:
+                self.failures.append(FailedPoint(
+                    point=SimPoint(state.workload, model, overrides),
+                    kind=kind, detail=detail,
+                    attempts=state.failures))
+            self._say("  %s %-10s -- giving up after %d attempt%s"
+                      % (kind, state.workload, state.failures,
+                         "s" if state.failures != 1 else ""))
+
+        def run_inline(state: _TaskState) -> None:
+            """Serial fallback: same retry semantics, no preemption, so
+            the policy timeout is not enforced here."""
+            try:
+                if injector is not None:
+                    injector.on_task(state.workload)
+                if _WORKER_RUNNER is None or _WORKER_RUNNER.scale != self.scale:
+                    _init_worker(self.scale)
+                publish(state, _run_task(state.task)[1])
+            except Exception:
+                fail(state, "error", traceback.format_exc())
+
+        def reap(state: _TaskState, kind: str, detail: str) -> None:
+            running.remove(state)
+            if state.proc.is_alive():
+                state.proc.terminate()
+                state.proc.join(2.0)
+                if state.proc.is_alive():   # pragma: no cover - stubborn
+                    state.proc.kill()
+                    state.proc.join()
+            state.conn.close()
+            state.proc = state.conn = None
+            fail(state, kind, detail)
+
+        def launch(state: _TaskState) -> None:
+            recv, send = multiprocessing.Pipe(duplex=False)
+            proc = multiprocessing.Process(
+                target=_worker_entry, args=(send, state.task, self.scale),
+                daemon=True)
+            try:
+                if injector is not None and injector.fail_spawn():
+                    raise OSError("injected fault: worker spawn refused")
+                proc.start()
+            except (OSError, ValueError):
+                recv.close()
+                send.close()
+                if not self.degraded:
+                    self.degraded = True
+                    self._say("  worker spawn failed -- degrading to "
+                              "in-process serial execution")
+                run_inline(state)
+                return
+            send.close()             # child owns the write end now
+            state.proc = proc
+            state.conn = recv
+            state.started = time.monotonic()
+            state.deadline = (state.started + policy.timeout
+                              if policy.timeout else None)
+            running.append(state)
+
+        while pending or waiting or running:
+            now = time.monotonic()
+            # Backed-off tasks whose delay elapsed go back in line.
+            for state in [s for s in waiting if s.not_before <= now]:
+                waiting.remove(state)
+                pending.append(state)
+            while pending and (self.degraded or len(running) < workers):
+                state = pending.popleft()
+                if self.degraded:
+                    delay = state.not_before - time.monotonic()
+                    if delay > 0:
+                        time.sleep(delay)
+                    run_inline(state)
+                else:
+                    launch(state)
+            if not running:
+                if waiting and not pending:
+                    now = time.monotonic()
+                    time.sleep(max(0.0,
+                                   min(s.not_before for s in waiting) - now))
+                continue
+
+            # Sleep until a result arrives, a worker dies, a timeout
+            # hits, or a backed-off task becomes runnable again.
+            now = time.monotonic()
+            wakeups = [s.deadline for s in running if s.deadline is not None]
+            wakeups.extend(s.not_before for s in waiting)
+            timeout = max(0.0, min(wakeups) - now) if wakeups else None
+            handles = ([s.conn for s in running]
+                       + [s.proc.sentinel for s in running])
+            _conn_wait(handles, timeout)
+
+            now = time.monotonic()
+            for state in list(running):
+                message = None
+                try:
+                    if state.conn.poll():
+                        message = state.conn.recv()
+                except (EOFError, OSError):
+                    reap(state, "crash",
+                         "worker died mid-result (exit code %s)"
+                         % state.proc.exitcode)
+                    continue
+                if message is not None:
+                    status, payload = message
+                    running.remove(state)
+                    state.conn.close()
+                    state.proc.join()
+                    state.proc = state.conn = None
+                    if status == "ok":
+                        publish(state, payload[1])
+                    else:
+                        fail(state, "error", payload)
+                elif not state.proc.is_alive():
+                    reap(state, "crash",
+                         "worker exited with code %s before returning "
+                         "a result" % state.proc.exitcode)
+                elif state.deadline is not None and now >= state.deadline:
+                    reap(state, "timeout",
+                         "task exceeded the %.1fs wall-clock budget"
+                         % policy.timeout)
         return results

@@ -11,6 +11,7 @@ import math
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from .parallel import BatchTiming, PointTiming
+from .resilience import FailedPoint
 
 
 def geomean(values: Iterable[float]) -> float:
@@ -128,7 +129,23 @@ def format_run_report(points: Sequence[PointTiming],
         lines.append("aggregate speedup     %.2fx (%.2fs simulated in "
                      "%.2fs wall)" % (sim_seconds / wall if wall else 1.0,
                                       sim_seconds, wall))
+    retried = sum(b.retried for b in batches)
+    timed_out = sum(b.timed_out for b in batches)
+    failed = sum(b.failed for b in batches)
+    if retried or timed_out or failed:
+        lines.append("task retries          %d (%d after timeout)"
+                     % (retried, timed_out))
+        lines.append("points failed         %d" % failed)
     return "\n".join(lines)
+
+
+def format_failure_table(failures: Sequence[FailedPoint]) -> str:
+    """Explicit per-point failure report (shown instead of a stack
+    trace): which points were lost, how, and after how many attempts."""
+    rows = [[f.point.workload, f.point.model.value, f.kind, f.attempts,
+             f.reason[:60]] for f in failures]
+    return format_table(["workload", "model", "kind", "attempts", "error"],
+                        rows, title="Failed simulation points")
 
 
 def shape_check(measured: float, paper: float,

@@ -18,6 +18,7 @@ Every resolved point is logged with its wall-clock cost and provenance
 from __future__ import annotations
 
 import time
+import traceback
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -31,6 +32,7 @@ from ..workloads import ALL_NAMES, get_workload
 from .cache import NullCache, ResultCache
 from .parallel import (BatchTiming, ParallelEngine, PointTiming, SimPoint,
                        make_point)
+from .resilience import BatchFailure, FailedPoint, RetryPolicy
 
 
 @dataclass(frozen=True)
@@ -61,7 +63,9 @@ class ExperimentRunner:
 
     def __init__(self, scale: Optional[float] = None, jobs: int = 1,
                  cache: Optional[ResultCache] = None, use_cache: bool = True,
-                 progress=None, collect_metrics: bool = False):
+                 progress=None, collect_metrics: bool = False,
+                 policy: Optional[RetryPolicy] = None,
+                 keep_going: bool = False):
         """``scale`` multiplies every workload's default iteration count
         (e.g. 0.1 for quick tests); None keeps per-workload defaults.
         ``jobs`` is the worker-process count for batch submissions (1 =
@@ -71,10 +75,19 @@ class ExperimentRunner:
         ``collect_metrics=True`` attaches a streaming metrics tracer to
         every simulation and keeps the structured report per point (forces
         in-process simulation: no disk-cache reads, no worker fan-out, so
-        the metrics are always complete)."""
+        the metrics are always complete).  ``policy`` sets per-task
+        timeout/retry/backoff for batch submissions (default:
+        :class:`RetryPolicy`); with ``keep_going=True`` a batch whose
+        points exhaust their retries returns the partial result set and
+        records the rest in ``failure_log`` instead of raising
+        :class:`BatchFailure`."""
         self.scale = scale
         self.jobs = max(1, int(jobs))
         self.collect_metrics = collect_metrics
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.keep_going = keep_going
+        self.failure_log: List[FailedPoint] = []
+        self._failed_keys: Dict[Tuple, FailedPoint] = {}
         self.metrics_log: Dict[Tuple, Dict[str, object]] = {}
         if cache is not None:
             self.cache = cache
@@ -180,6 +193,10 @@ class ExperimentRunner:
         cached = self._results.get(key)
         if cached is not None:
             return cached
+        if key in self._failed_keys:
+            # The point already exhausted its retry budget this session;
+            # surface the recorded failure instead of re-simulating.
+            raise BatchFailure([self._failed_keys[key]])
         start = time.perf_counter()
         disk_key = self._disk_key(workload, model, overrides)
         # Metrics collection needs a live simulation: skip the disk cache.
@@ -204,17 +221,70 @@ class ExperimentRunner:
 
     # -- batch fan-out -------------------------------------------------------
 
+    def _publish(self, timing: BatchTiming, out: Dict[SimPoint, SimResult],
+                 point: SimPoint, result: SimResult, seconds: float) -> None:
+        """Checkpoint one resolved point: disk cache + memo, immediately.
+
+        Called *as each point resolves* (streamed from the parallel
+        engine), not after the whole batch, so an interrupted sweep
+        keeps everything that completed before it died.
+        """
+        timing.sim_seconds += seconds
+        overrides = point.override_dict
+        self.cache.put(
+            self._disk_key(point.workload, point.model, overrides), result)
+        key = self._memo_key(point.workload, point.model, overrides)
+        self._results[key] = result
+        self._failed_keys.pop(key, None)
+        out[point] = result
+        self._log_point(point.workload, point.model, seconds, "sim")
+
+    def _simulate_with_retry(self, point: SimPoint,
+                             publish) -> Optional[FailedPoint]:
+        """Serial path: simulate one point under the retry policy.
+
+        Publishes on success and returns None; returns a
+        :class:`FailedPoint` with the captured traceback once the retry
+        budget is spent.  (No preemption in-process, so the policy's
+        wall-clock timeout is not enforced here.)
+        """
+        overrides = point.override_dict
+        attempts = 0
+        while True:
+            attempts += 1
+            start = time.perf_counter()
+            try:
+                result = self._simulate(point.workload, point.model,
+                                        overrides)
+            except Exception:
+                detail = traceback.format_exc()
+                if attempts > self.policy.retries:
+                    return FailedPoint(point=point, kind="error",
+                                       detail=detail, attempts=attempts)
+                time.sleep(self.policy.delay_for(attempts))
+                continue
+            publish(point, result, time.perf_counter() - start)
+            return None
+
     def run_batch(self, points: Iterable[SimPoint]) -> Dict[SimPoint,
                                                             SimResult]:
         """Resolve a whole point set: memo -> disk cache -> parallel map.
 
         Returns {point: SimResult}; every result is also memoised, so
         subsequent :meth:`run` calls for the same points are free.
+        Completed points are published to the disk cache as they
+        resolve (checkpointing), so an interrupted sweep resumes from
+        the cache on the next run.  Points that exhaust their retry
+        budget are recorded in :attr:`failure_log` and omitted from the
+        returned dict; unless ``keep_going`` is set the batch then
+        raises :class:`BatchFailure` -- after the survivors were
+        published, so completed work is never lost.
         """
         batch_start = time.perf_counter()
         timing = BatchTiming(jobs=self.jobs)
         out: Dict[SimPoint, SimResult] = {}
         misses: List[SimPoint] = []
+        failures: List[FailedPoint] = []
         seen = set()
         for point in points:
             if point in seen:
@@ -228,6 +298,11 @@ class ExperimentRunner:
                 timing.memo_hits += 1
                 out[point] = cached
                 continue
+            if key in self._failed_keys:
+                # Exhausted its retries earlier this session; don't burn
+                # another full retry budget on it in every later batch.
+                failures.append(self._failed_keys[key])
+                continue
             start = time.perf_counter()
             result = self.cache.get(
                 self._disk_key(point.workload, point.model, overrides))
@@ -240,36 +315,55 @@ class ExperimentRunner:
             else:
                 misses.append(point)
 
+        fresh_failures: List[FailedPoint] = []
         if misses:
             timing.simulated = len(misses)
+
+            def publish(point, result, seconds):
+                self._publish(timing, out, point, result, seconds)
+
             # Metrics collection happens in _simulate, so fall back to
             # in-process simulation instead of the worker fan-out.
             if self.jobs > 1 and len(misses) > 1 and not self.collect_metrics:
                 engine = ParallelEngine(jobs=self.jobs, scale=self.scale,
-                                        progress=self.progress)
+                                        progress=self.progress,
+                                        policy=self.policy,
+                                        on_result=publish)
                 resolved = engine.run_points(misses)
-            else:
-                resolved = {}
+                fresh_failures.extend(engine.failures)
+                timing.retried += engine.retried
+                timing.timed_out += engine.timed_out
+                # Defensive: a point the engine neither resolved nor
+                # recorded as failed is reported, never KeyError'd.
+                accounted = set(resolved)
+                accounted.update(f.point for f in fresh_failures)
                 for point in misses:
-                    start = time.perf_counter()
-                    result = self._simulate(point.workload, point.model,
-                                            point.override_dict)
-                    resolved[point] = (result, time.perf_counter() - start)
-            for point in misses:
-                result, seconds = resolved[point]
-                timing.sim_seconds += seconds
-                overrides = point.override_dict
-                self.cache.put(
-                    self._disk_key(point.workload, point.model, overrides),
-                    result)
-                self._results[self._memo_key(point.workload, point.model,
-                                             overrides)] = result
-                out[point] = result
-                self._log_point(point.workload, point.model, seconds, "sim")
+                    if point not in accounted:
+                        fresh_failures.append(FailedPoint(
+                            point=point, kind="lost",
+                            detail="engine returned neither a result nor "
+                                   "a failure record", attempts=0))
+            else:
+                for point in misses:
+                    failure = self._simulate_with_retry(point, publish)
+                    if failure is not None:
+                        fresh_failures.append(failure)
+                        if not self.keep_going:
+                            break   # fail fast; survivors are cached
 
+        if fresh_failures:
+            self.failure_log.extend(fresh_failures)
+            for failure in fresh_failures:
+                self._failed_keys[self._memo_key(
+                    failure.point.workload, failure.point.model,
+                    failure.point.override_dict)] = failure
+            failures.extend(fresh_failures)
+        timing.failed = len(failures)
         timing.wall_seconds = time.perf_counter() - batch_start
         if timing.points:
             self.batch_log.append(timing)
+        if failures and not self.keep_going:
+            raise BatchFailure(failures)
         return out
 
     def prefetch(self, points: Iterable[SimPoint]) -> None:
@@ -279,10 +373,17 @@ class ExperimentRunner:
     def run_suite(self, model: ModelKind,
                   workloads: Optional[Iterable[str]] = None,
                   **overrides) -> Dict[str, SimResult]:
-        """Simulate one model across a workload list (default: all 21)."""
-        names = list(workloads) if workloads is not None else ALL_NAMES
-        self.prefetch(make_point(name, model, **overrides) for name in names)
-        return {name: self.run(name, model, **overrides) for name in names}
+        """Simulate one model across a workload list (default: all 21).
+
+        With ``keep_going`` the dict is partial: failed workloads are
+        absent (see :attr:`failure_log`) instead of raising.
+        """
+        names = list(workloads) if workloads is not None else list(ALL_NAMES)
+        points = {name: make_point(name, model, **overrides)
+                  for name in names}
+        resolved = self.run_batch(points.values())
+        return {name: resolved[point] for name, point in points.items()
+                if point in resolved}
 
     def run_matrix(self, models: Iterable[ModelKind],
                    workloads: Optional[Iterable[str]] = None,
@@ -310,10 +411,23 @@ class ExperimentRunner:
 # A process-wide runner shared by the benchmark files.
 _SHARED: Optional[ExperimentRunner] = None
 
+_UNSET = object()
 
-def shared_runner(scale: Optional[float] = None) -> ExperimentRunner:
-    """The process-wide runner; the first caller fixes the scale."""
+
+def shared_runner(scale=_UNSET) -> ExperimentRunner:
+    """The process-wide runner; the first caller fixes the scale.
+
+    A later caller asking for a *different* scale gets a ``ValueError``
+    -- silently handing back a runner with the wrong scale would poison
+    every downstream result (and its cache keys).  Omit the argument to
+    accept whatever scale the runner was first built with.
+    """
     global _SHARED
     if _SHARED is None:
-        _SHARED = ExperimentRunner(scale=scale)
+        _SHARED = ExperimentRunner(scale=None if scale is _UNSET else scale)
+    elif scale is not _UNSET and scale != _SHARED.scale:
+        raise ValueError(
+            "shared_runner() was built with scale=%r; a conflicting "
+            "scale=%r was requested (omit the argument to reuse it)"
+            % (_SHARED.scale, scale))
     return _SHARED
