@@ -23,17 +23,24 @@ Commands
 ``experiment EXP_ID``
     Reproduce one paper figure/table (see ``list`` for ids).
 ``cache``
-    Inspect or clear the persistent result cache; ``gc`` sweeps ``*.tmp``
-    files orphaned by killed sessions.
+    Inspect or clear the persistent result cache and its trace store;
+    ``gc`` sweeps ``*.tmp`` files orphaned by killed sessions.
 ``bench-hotloop``
     Measure simulator hot-loop throughput (cycles/sec per model) and write
     ``BENCH_hotloop.json``; ``--check`` fails on regression vs. the
     committed baseline.
+``bench-sweep``
+    Measure end-to-end sweep cost under four trace-store/result-cache
+    regimes plus worker peak RSS, and write ``BENCH_sweep.json``;
+    ``--check`` fails when the warm sweep misses its speedup floor or a
+    warm leg performs any functional re-trace (see DESIGN.md Section 12).
 
 Global flags: ``--jobs N`` fans simulation points out over N worker
 processes; ``--no-cache`` disables the persistent result cache (location:
 ``$REPRO_CACHE_DIR``, default ``.repro-cache``); ``--profile`` runs the
-command under cProfile and prints the top-25 cumulative report.
+command under cProfile and prints the top-25 cumulative report plus a
+phase split (functional tracing vs. timing simulation vs. trace-store
+I/O).
 
 Fault tolerance (see DESIGN.md Section 11): ``--timeout S`` bounds each
 worker task's wall clock, ``--retries N`` / ``--backoff S`` control the
@@ -51,7 +58,8 @@ import sys
 from typing import List, Optional
 
 from .harness import (BatchFailure, ExperimentRunner, ResultCache,
-                      RetryPolicy, SimPoint, hotloop, make_point)
+                      RetryPolicy, SimPoint, TraceStore, hotloop,
+                      make_point, sweepbench)
 from .harness.experiments import ALL_EXPERIMENTS
 from .harness.reporting import (format_failure_table, format_run_report,
                                 format_table)
@@ -190,6 +198,22 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=("before", "after"),
                        help="record this run as the committed "
                             "before/after reference")
+
+    sweep = sub.add_parser("bench-sweep",
+                           help="measure end-to-end sweep cost with the "
+                                "trace store cold/warm vs. the legacy "
+                                "re-trace-every-point path")
+    sweep.add_argument("--smoke", action="store_true",
+                       help="quarter-scale run for CI")
+    sweep.add_argument("--check", action="store_true",
+                       help="exit non-zero unless the warm sweep is >= %.1fx"
+                            " faster than legacy, both warm legs perform "
+                            "zero functional re-traces, and packed workers "
+                            "use less peak RSS"
+                            % sweepbench.MIN_WARM_SPEEDUP)
+    sweep.add_argument("--output", default="BENCH_sweep.json",
+                       metavar="PATH", help="report path "
+                                            "(default: BENCH_sweep.json)")
     return parser
 
 
@@ -376,13 +400,15 @@ def cmd_trace_report(args, out) -> int:
 
 def cmd_cache(args, out) -> int:
     cache = ResultCache()
+    store = TraceStore(root=cache.root / "traces")
     if args.action == "clear":
         removed = cache.clear()
-        print("removed %d cached result(s) from %s" % (removed, cache.root),
-              file=out)
+        traces = store.clear()
+        print("removed %d cached result(s) and %d trace blob(s) from %s"
+              % (removed, traces, cache.root), file=out)
         return 0
     if args.action == "gc":
-        removed = cache.gc()
+        removed = cache.gc() + store.gc()
         print("swept %d orphaned temp file(s) from %s"
               % (removed, cache.root), file=out)
         return 0
@@ -390,8 +416,13 @@ def cmd_cache(args, out) -> int:
     print("entries        %d" % cache.entry_count(), file=out)
     print("size           %.1f KiB" % (cache.size_bytes() / 1024.0),
           file=out)
-    print("orphaned tmp   %d" % len(cache.tmp_files()), file=out)
+    print("trace blobs    %d" % store.entry_count(), file=out)
+    print("trace size     %.1f KiB" % (store.size_bytes() / 1024.0),
+          file=out)
+    print("orphaned tmp   %d" % (len(cache.tmp_files())
+                                 + len(store.tmp_files())), file=out)
     print("code version   %s" % cache.version, file=out)
+    print("func version   %s" % store.version, file=out)
     return 0
 
 
@@ -422,6 +453,23 @@ def cmd_bench_hotloop(args, out) -> int:
     return 0
 
 
+def cmd_bench_sweep(args, out) -> int:
+    payload = sweepbench.run_benchmark(
+        smoke=args.smoke, scale=args.scale,
+        progress=lambda line: print(line, file=out))
+    sweepbench.attach_check(payload, check=args.check)
+    path = hotloop.write_report(payload, args.output)
+    print(sweepbench.format_report(payload), file=out)
+    print("report written to %s" % path, file=out)
+    check = payload["check"]
+    if check.get("enabled") and not check["passed"]:
+        failed = [name for name, ok in check["details"].items() if not ok]
+        print("FAIL: sweep benchmark gate(s) not met: %s"
+              % ", ".join(sorted(failed)), file=out)
+        return 1
+    return 0
+
+
 COMMANDS = {
     "list": cmd_list,
     "compare": cmd_compare,
@@ -431,6 +479,7 @@ COMMANDS = {
     "trace-report": cmd_trace_report,
     "cache": cmd_cache,
     "bench-hotloop": cmd_bench_hotloop,
+    "bench-sweep": cmd_bench_sweep,
 }
 
 
@@ -452,6 +501,34 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return 1
 
 
+def _phase_attribution(stats) -> List:
+    """Split a profile's wall time into the pipeline's coarse phases.
+
+    Attributes the cumulative time of each phase's entry point --
+    functional tracing (``FunctionalCpu.run``), timing simulation
+    (``Simulator.run``), and trace-store I/O (``load_trace`` /
+    ``PackedTrace.to_bytes``).  The phases never nest (a trace is fully
+    built or loaded before its simulation starts), so the split is exact
+    up to harness overhead, reported as "other".
+    """
+    phases = {"functional tracing": 0.0, "timing simulation": 0.0,
+              "trace store I/O": 0.0}
+    for (filename, _line, funcname), entry in stats.stats.items():
+        cumulative = entry[3]
+        path = filename.replace("\\", "/")
+        if path.endswith("kernel/cpu.py") and funcname == "run":
+            phases["functional tracing"] += cumulative
+        elif path.endswith("uarch/pipeline.py") and funcname == "run":
+            phases["timing simulation"] += cumulative
+        elif (path.endswith("kernel/tracestore.py")
+                and funcname in ("load_trace", "to_bytes")):
+            phases["trace store I/O"] += cumulative
+    total = stats.total_tt
+    phases["other (harness)"] = max(0.0, total - sum(phases.values()))
+    return [(label, seconds, 100.0 * seconds / total if total else 0.0)
+            for label, seconds in phases.items()]
+
+
 def _dispatch(command, args, out) -> int:
     if getattr(args, "profile", False):
         import cProfile
@@ -464,6 +541,10 @@ def _dispatch(command, args, out) -> int:
             profile.disable()
             report = pstats.Stats(profile, stream=out)
             report.sort_stats("cumulative").print_stats(25)
+            print("phase attribution:", file=out)
+            for label, seconds, percent in _phase_attribution(report):
+                print("  %-20s %9.3fs  %5.1f%%" % (label, seconds, percent),
+                      file=out)
             dump = args.profile_output or "repro.prof"
             report.dump_stats(dump)
             print("raw profile written to %s" % dump, file=out)

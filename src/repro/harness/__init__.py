@@ -1,6 +1,7 @@
 """Experiment harness: runner, cache, parallel engine, reproductions."""
 
-from .cache import NullCache, ResultCache, code_version, default_cache_dir
+from .cache import (NullCache, NullTraceStore, ResultCache, TraceStore,
+                    code_version, default_cache_dir, functional_version)
 from .resilience import (BatchFailure, FailedPoint, FaultInjector,
                          RetryPolicy, parse_fault_spec)
 from .parallel import (BatchTiming, ParallelEngine, PointTiming, SimPoint,
@@ -10,15 +11,17 @@ from .reporting import (format_failure_table, format_point_log,
                         format_run_report, format_table, geomean, percent,
                         shape_check, speedup)
 from .experiments import ALL_EXPERIMENTS, ExperimentResult
-from . import hotloop, paper_data
+from . import hotloop, paper_data, sweepbench
 
 __all__ = [
     "ExperimentRunner", "SimResult", "shared_runner",
-    "NullCache", "ResultCache", "code_version", "default_cache_dir",
+    "NullCache", "NullTraceStore", "ResultCache", "TraceStore",
+    "code_version", "default_cache_dir", "functional_version",
     "BatchFailure", "FailedPoint", "FaultInjector", "RetryPolicy",
     "parse_fault_spec",
     "BatchTiming", "ParallelEngine", "PointTiming", "SimPoint", "make_point",
     "format_failure_table", "format_point_log", "format_run_report",
     "format_table", "geomean", "percent", "shape_check", "speedup",
     "ALL_EXPERIMENTS", "ExperimentResult", "hotloop", "paper_data",
+    "sweepbench",
 ]

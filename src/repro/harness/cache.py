@@ -30,27 +30,46 @@ import time
 from pathlib import Path
 from typing import Optional
 
+from ..kernel import tracestore
+
 # Bump when the pickled payload layout changes incompatibly.
 FORMAT_VERSION = 1
 
 # Source packages whose content determines simulation results.
 _VERSIONED_PACKAGES = ("isa", "kernel", "uarch", "workloads", "energy")
 
+# The subset that determines the *functional* trace (no timing model):
+# a uarch-only edit keeps every packed trace valid.
+_FUNCTIONAL_PACKAGES = ("isa", "kernel", "workloads")
+
 _CODE_VERSION: Optional[str] = None
+_FUNCTIONAL_VERSION: Optional[str] = None
+
+
+def _hash_packages(packages) -> str:
+    digest = hashlib.sha256()
+    package_root = Path(__file__).resolve().parent.parent
+    for package in packages:
+        for path in sorted((package_root / package).glob("*.py")):
+            digest.update(path.name.encode())
+            digest.update(path.read_bytes())
+    return digest.hexdigest()[:16]
 
 
 def code_version() -> str:
     """Hash of every source file that can affect a simulation result."""
     global _CODE_VERSION
     if _CODE_VERSION is None:
-        digest = hashlib.sha256()
-        package_root = Path(__file__).resolve().parent.parent
-        for package in _VERSIONED_PACKAGES:
-            for path in sorted((package_root / package).glob("*.py")):
-                digest.update(path.name.encode())
-                digest.update(path.read_bytes())
-        _CODE_VERSION = digest.hexdigest()[:16]
+        _CODE_VERSION = _hash_packages(_VERSIONED_PACKAGES)
     return _CODE_VERSION
+
+
+def functional_version() -> str:
+    """Hash of every source file that can affect a *functional trace*."""
+    global _FUNCTIONAL_VERSION
+    if _FUNCTIONAL_VERSION is None:
+        _FUNCTIONAL_VERSION = _hash_packages(_FUNCTIONAL_PACKAGES)
+    return _FUNCTIONAL_VERSION
 
 
 def canonical(value):
@@ -95,6 +114,10 @@ class ResultCache:
                 overrides: dict) -> str:
         material = json.dumps({
             "format": FORMAT_VERSION,
+            # Results are simulated *from* an encoded trace, so a trace
+            # format bump conservatively invalidates them too (instead of
+            # ever trusting stats derived from a mis-decoded blob).
+            "trace_format": tracestore.TRACE_FORMAT_VERSION,
             "code": self.version,
             "workload": workload,
             "iterations": iterations,
@@ -191,6 +214,161 @@ class ResultCache:
                 pass
         self.gc()
         return removed
+
+
+class TraceStore:
+    """Persistent store of packed functional traces (DESIGN.md section 12).
+
+    One blob per (workload, iterations, functional-semantics version,
+    trace format version) under ``<cache_root>/traces/<key[:2]>/<key>.trc``.
+    The key hashes only the *functional* sources (isa, kernel, workloads):
+    timing-model edits keep traces valid, while any edit that could change
+    what the functional CPU retires silently invalidates them.  Blobs are
+    written atomically and loaded read-only via ``mmap``, so every sweep
+    worker shares one page-cache copy; any unreadable/mismatched blob is
+    a clean miss, repaired by the next put.
+    """
+
+    def __init__(self, root: Optional[Path] = None,
+                 version: Optional[str] = None):
+        if root is not None:
+            self.root = Path(root)
+        else:
+            self.root = default_cache_dir() / "traces"
+        self.version = (version if version is not None
+                        else functional_version())
+        self.hits = 0
+        self.misses = 0
+
+    # -- keys --------------------------------------------------------------
+
+    def key_for(self, workload: str, iterations: int) -> str:
+        material = json.dumps({
+            "trace_format": tracestore.TRACE_FORMAT_VERSION,
+            "functional": self.version,
+            "workload": workload,
+            "iterations": iterations,
+        }, sort_keys=True)
+        return hashlib.sha256(material.encode()).hexdigest()
+
+    def path_for(self, workload: str, iterations: int) -> Path:
+        key = self.key_for(workload, iterations)
+        return self.root / key[:2] / (key + ".trc")
+
+    # -- storage ------------------------------------------------------------
+
+    def load(self, workload: str, iterations: int, program):
+        """The packed trace for a point, or None (miss) -- never raises."""
+        path = self.path_for(workload, iterations)
+        try:
+            packed = tracestore.load_trace(path, program)
+        except Exception:
+            # Missing, truncated, garbage, format-bumped, or packed for a
+            # different program: a clean miss; the next put repairs it.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return packed
+
+    def put(self, workload: str, iterations: int, packed) -> Optional[Path]:
+        """Atomically persist a trace; returns its path."""
+        packed = tracestore.pack_trace(packed.program, packed)
+        path = self.path_for(workload, iterations)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(packed.to_bytes())
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    # -- maintenance ---------------------------------------------------------
+
+    def entries(self):
+        return sorted(self.root.glob("??/*.trc"))
+
+    def entry_count(self) -> int:
+        return len(self.entries())
+
+    def size_bytes(self) -> int:
+        total = 0
+        for path in self.entries():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass
+        return total
+
+    def tmp_files(self):
+        return sorted(self.root.glob("??/*.tmp"))
+
+    def gc(self, min_age_seconds: float = 0.0) -> int:
+        """Sweep ``*.tmp`` blobs orphaned by killed sessions."""
+        removed = 0
+        now = time.time()
+        for path in self.tmp_files():
+            try:
+                if now - path.stat().st_mtime >= min_age_seconds:
+                    path.unlink()
+                    removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def clear(self) -> int:
+        removed = 0
+        for path in self.entries():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        self.gc()
+        return removed
+
+
+class NullTraceStore:
+    """Trace-store stand-in that persists nothing (``--no-cache``)."""
+
+    root = None
+    hits = 0
+    misses = 0
+
+    def key_for(self, workload, iterations) -> str:
+        return ""
+
+    def path_for(self, workload, iterations):
+        return None
+
+    def load(self, workload, iterations, program):
+        return None
+
+    def put(self, workload, iterations, packed):
+        return None
+
+    def entries(self):
+        return []
+
+    def entry_count(self) -> int:
+        return 0
+
+    def size_bytes(self) -> int:
+        return 0
+
+    def tmp_files(self):
+        return []
+
+    def gc(self, min_age_seconds: float = 0.0) -> int:
+        return 0
+
+    def clear(self) -> int:
+        return 0
 
 
 class NullCache:

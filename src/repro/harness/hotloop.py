@@ -29,6 +29,7 @@ from pathlib import Path
 from typing import Dict, Iterable, List, Optional
 
 from ..kernel import FunctionalCpu
+from ..kernel.trace import MAX_TRACE_INSTRUCTIONS
 from ..uarch import ModelKind, model_params
 from ..uarch.pipeline import Simulator
 from ..workloads import get_workload
@@ -105,7 +106,8 @@ def measure(workloads: Iterable[str] = BENCH_WORKLOADS,
     prepared = []
     for name in workloads:
         program = get_workload(name).build(_iterations(name, scale))
-        trace = FunctionalCpu(program).run_trace(max_instructions=5_000_000)
+        trace = FunctionalCpu(program).run_trace(
+            max_instructions=MAX_TRACE_INSTRUCTIONS)
         prepared.append((name, program, trace))
 
     out: Dict[str, Dict[str, float]] = {}

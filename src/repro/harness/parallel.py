@@ -2,9 +2,11 @@
 
 Simulation points are embarrassingly parallel (each is one deterministic
 ``Simulator`` run), so a batch of (workload, model, overrides) points is
-grouped by workload -- one task per workload, so a worker traces a
-workload once and reuses that trace for every configuration of it -- and
-mapped over worker processes.  Results come back with per-point
+grouped by workload -- one task per workload -- and mapped over worker
+processes.  Each task carries the path of the workload's packed trace
+blob (persisted by the parent before fan-out), which the worker ``mmap``s
+read-only and reuses for every configuration: workers never re-run the
+functional CPU unless the blob fails to decode under them.  Results come back with per-point
 wall-clock timings; ordering is restored by point key, so a parallel
 batch is byte-identical to a serial one.
 
@@ -94,6 +96,13 @@ class BatchTiming:
     failed: int = 0                  # points that exhausted their retries
     retried: int = 0                 # task retry attempts performed
     timed_out: int = 0               # task timeouts (terminated workers)
+    traces_generated: int = 0        # functional traces run in the parent
+    worker_retraces: int = 0         # functional traces re-run in workers
+
+    @property
+    def functional_traces(self) -> int:
+        """Total functional CPU executions this batch caused."""
+        return self.traces_generated + self.worker_retraces
 
     @property
     def speedup(self) -> float:
@@ -117,15 +126,28 @@ def _init_worker(scale: Optional[float]) -> None:
 
 
 def _run_task(task):
-    """Simulate every configuration of one workload; returns timings."""
-    workload, configs = task
+    """Simulate every configuration of one workload; returns timings.
+
+    When the parent supplied a packed-trace path, adopt that blob (an
+    ``mmap`` of the store's copy) before simulating; if it fails to
+    decode -- deleted, truncated, format-bumped under us -- fall back to
+    re-tracing rather than failing the task.  The third element of the
+    return value counts functional traces this task had to run itself,
+    so the parent can account for (and the sweep benchmark can assert
+    the absence of) worker re-traces.
+    """
+    workload, trace_path, configs = task
+    retraces_before = _WORKER_RUNNER.traces_generated
+    if trace_path is not None:
+        _WORKER_RUNNER.attach_trace(workload, trace_path)
     out = []
     for model, overrides in configs:
         start = time.perf_counter()
         result = _WORKER_RUNNER.run(workload, model, **dict(overrides))
         out.append((model, overrides, result,
                     time.perf_counter() - start))
-    return workload, out
+    return (workload, out,
+            _WORKER_RUNNER.traces_generated - retraces_before)
 
 
 def _worker_entry(conn, task, scale) -> None:
@@ -159,7 +181,7 @@ def _worker_entry(conn, task, scale) -> None:
 class _TaskState:
     """Supervision record for one in-flight or pending task."""
 
-    task: tuple                      # (workload, [(model, overrides), ...])
+    task: tuple          # (workload, trace_path, [(model, overrides), ...])
     failures: int = 0                # attempts that have failed so far
     proc: object = None
     conn: object = None
@@ -189,9 +211,11 @@ class ParallelEngine:
     progress: object = None          # optional callable(str)
     policy: Optional[RetryPolicy] = None
     on_result: Optional[Callable] = None   # callable(point, result, secs)
+    trace_paths: Optional[Dict[str, str]] = None  # workload -> packed blob
     failures: List[FailedPoint] = field(default_factory=list)
     retried: int = 0
     timed_out: int = 0
+    worker_retraces: int = 0         # functional traces workers re-ran
     degraded: bool = False
 
     def _say(self, message: str) -> None:
@@ -208,6 +232,7 @@ class ParallelEngine:
         self.failures = []
         self.retried = 0
         self.timed_out = 0
+        self.worker_retraces = 0
         self.degraded = False
         if not points:
             return {}
@@ -215,7 +240,9 @@ class ParallelEngine:
         for point in points:
             by_workload.setdefault(point.workload, []).append(
                 (point.model, point.overrides))
-        tasks = sorted(by_workload.items())
+        paths = self.trace_paths or {}
+        tasks = [(workload, paths.get(workload), configs)
+                 for workload, configs in sorted(by_workload.items())]
         results: Dict[SimPoint, Tuple[object, float]] = {}
         policy = self.policy if self.policy is not None else RetryPolicy()
         injector = FaultInjector.from_env()
@@ -253,7 +280,7 @@ class ParallelEngine:
                           % (kind, state.workload, state.failures,
                              policy.retries))
                 return
-            for model, overrides in state.task[1]:
+            for model, overrides in state.task[2]:
                 self.failures.append(FailedPoint(
                     point=SimPoint(state.workload, model, overrides),
                     kind=kind, detail=detail,
@@ -270,7 +297,9 @@ class ParallelEngine:
                     injector.on_task(state.workload)
                 if _WORKER_RUNNER is None or _WORKER_RUNNER.scale != self.scale:
                     _init_worker(self.scale)
-                publish(state, _run_task(state.task)[1])
+                _, outcomes, retraces = _run_task(state.task)
+                self.worker_retraces += retraces
+                publish(state, outcomes)
             except Exception:
                 fail(state, "error", traceback.format_exc())
 
@@ -362,6 +391,7 @@ class ParallelEngine:
                     state.proc.join()
                     state.proc = state.conn = None
                     if status == "ok":
+                        self.worker_retraces += payload[2]
                         publish(state, payload[1])
                     else:
                         fail(state, "error", payload)

@@ -129,6 +129,13 @@ def format_run_report(points: Sequence[PointTiming],
         lines.append("aggregate speedup     %.2fx (%.2fs simulated in "
                      "%.2fs wall)" % (sim_seconds / wall if wall else 1.0,
                                       sim_seconds, wall))
+    traced = sum(b.traces_generated for b in batches)
+    retraced = sum(b.worker_retraces for b in batches)
+    if traced or retraced:
+        lines.append("functional traces     %d%s"
+                     % (traced,
+                        " (+%d worker re-traces)" % retraced
+                        if retraced else ""))
     retried = sum(b.retried for b in batches)
     timed_out = sum(b.timed_out for b in batches)
     failed = sum(b.failed for b in batches)

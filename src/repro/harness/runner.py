@@ -8,6 +8,12 @@ them under arbitrary model/parameter combinations with three cache layers:
 3. a parallel fan-out engine (:mod:`repro.harness.parallel`) that maps
    batches of points over multiprocessing workers.
 
+Functional traces get the same treatment: :meth:`ExperimentRunner.trace`
+returns a columnar :class:`~repro.kernel.tracestore.PackedTrace`, resolved
+memo -> persistent trace store -> functional CPU, and batch fan-out hands
+workers the persisted blob's path so they ``mmap`` it instead of
+re-tracing (DESIGN.md section 12).
+
 Figure/table functions submit their whole point set through
 :meth:`ExperimentRunner.run_batch` (collect points -> parallel map ->
 assemble); individual :meth:`run` calls then resolve from the memo.
@@ -24,12 +30,11 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..energy import EnergyReport, energy_report
 from ..isa import Program
-from ..kernel import FunctionalCpu
-from ..kernel.trace import TraceEntry
+from ..kernel.tracestore import (PackedTrace, load_trace, run_trace_packed)
 from ..uarch import CoreParams, ModelKind, SimStats, model_params
 from ..uarch.pipeline import Simulator
 from ..workloads import ALL_NAMES, get_workload
-from .cache import NullCache, ResultCache
+from .cache import NullCache, NullTraceStore, ResultCache, TraceStore
 from .parallel import (BatchTiming, ParallelEngine, PointTiming, SimPoint,
                        make_point)
 from .resilience import BatchFailure, FailedPoint, RetryPolicy
@@ -65,7 +70,8 @@ class ExperimentRunner:
                  cache: Optional[ResultCache] = None, use_cache: bool = True,
                  progress=None, collect_metrics: bool = False,
                  policy: Optional[RetryPolicy] = None,
-                 keep_going: bool = False):
+                 keep_going: bool = False,
+                 trace_store=None):
         """``scale`` multiplies every workload's default iteration count
         (e.g. 0.1 for quick tests); None keeps per-workload defaults.
         ``jobs`` is the worker-process count for batch submissions (1 =
@@ -95,12 +101,24 @@ class ExperimentRunner:
             self.cache = ResultCache()
         else:
             self.cache = NullCache()
+        if trace_store is not None:
+            self.trace_store = trace_store
+        elif getattr(self.cache, "root", None) is not None:
+            # Keep trace blobs beside the result entries they feed.
+            self.trace_store = TraceStore(root=self.cache.root / "traces")
+        else:
+            self.trace_store = NullTraceStore()
         self.progress = progress
         self._programs: Dict[str, Program] = {}
-        self._traces: Dict[str, List[TraceEntry]] = {}
+        self._traces: Dict[str, PackedTrace] = {}
         self._results: Dict[Tuple, SimResult] = {}
         self.point_log: List[PointTiming] = []
         self.batch_log: List[BatchTiming] = []
+        # Functional-trace accounting (the sweep benchmark's zero-retrace
+        # assertion reads these; see DESIGN.md section 12).
+        self.traces_generated = 0    # functional CPU runs in this process
+        self.traces_loaded = 0       # packed traces mapped from the store
+        self.worker_retraces = 0     # functional CPU runs inside workers
 
     # -- workload plumbing ---------------------------------------------------
 
@@ -120,11 +138,55 @@ class ExperimentRunner:
             self._programs[workload] = spec.build(iterations)
         return self._programs[workload]
 
-    def trace(self, workload: str) -> List[TraceEntry]:
+    def trace(self, workload: str) -> PackedTrace:
+        """The packed dynamic trace for a workload: memo -> store -> trace.
+
+        A store hit maps the persisted columnar blob read-only (zero
+        functional re-execution); a miss runs the functional CPU once and
+        persists the packed result for every later session and worker.
+        """
         if workload not in self._traces:
-            cpu = FunctionalCpu(self.program(workload))
-            self._traces[workload] = cpu.run_trace(max_instructions=5_000_000)
+            program = self.program(workload)
+            iterations = self.iterations(workload)
+            packed = self.trace_store.load(workload, iterations, program)
+            if packed is not None:
+                self.traces_loaded += 1
+            else:
+                packed = run_trace_packed(program)
+                self.traces_generated += 1
+                self.trace_store.put(workload, iterations, packed)
+            self._traces[workload] = packed
         return self._traces[workload]
+
+    def ensure_trace(self, workload: str) -> Optional[str]:
+        """Make sure the store holds this workload's trace; returns its
+        path (None when the store is a :class:`NullTraceStore`), so batch
+        fan-out can hand workers a blob to map instead of re-tracing."""
+        self.trace(workload)
+        path = self.trace_store.path_for(workload,
+                                         self.iterations(workload))
+        if path is None:
+            return None
+        return str(path)
+
+    def attach_trace(self, workload: str, path: str) -> bool:
+        """Adopt a packed trace blob produced by another process.
+
+        Returns True when the blob decoded against this runner's program;
+        on any failure the memo is left empty so :meth:`trace` falls back
+        to re-tracing (a stale/corrupt blob must never kill a worker)."""
+        try:
+            packed = load_trace(path, self.program(workload))
+        except Exception:
+            return False
+        self._traces[workload] = packed
+        self.traces_loaded += 1
+        return True
+
+    @property
+    def functional_traces(self) -> int:
+        """Functional CPU executions this runner caused, anywhere."""
+        return self.traces_generated + self.worker_retraces
 
     # -- cache plumbing ------------------------------------------------------
 
@@ -281,6 +343,7 @@ class ExperimentRunner:
         published, so completed work is never lost.
         """
         batch_start = time.perf_counter()
+        traces_before = self.traces_generated
         timing = BatchTiming(jobs=self.jobs)
         out: Dict[SimPoint, SimResult] = {}
         misses: List[SimPoint] = []
@@ -325,14 +388,24 @@ class ExperimentRunner:
             # Metrics collection happens in _simulate, so fall back to
             # in-process simulation instead of the worker fan-out.
             if self.jobs > 1 and len(misses) > 1 and not self.collect_metrics:
+                # Trace every miss workload once *here*, so workers map the
+                # persisted blob instead of re-running the functional CPU.
+                trace_paths: Dict[str, str] = {}
+                for workload in sorted({p.workload for p in misses}):
+                    path = self.ensure_trace(workload)
+                    if path is not None:
+                        trace_paths[workload] = path
                 engine = ParallelEngine(jobs=self.jobs, scale=self.scale,
                                         progress=self.progress,
                                         policy=self.policy,
-                                        on_result=publish)
+                                        on_result=publish,
+                                        trace_paths=trace_paths or None)
                 resolved = engine.run_points(misses)
                 fresh_failures.extend(engine.failures)
                 timing.retried += engine.retried
                 timing.timed_out += engine.timed_out
+                timing.worker_retraces += engine.worker_retraces
+                self.worker_retraces += engine.worker_retraces
                 # Defensive: a point the engine neither resolved nor
                 # recorded as failed is reported, never KeyError'd.
                 accounted = set(resolved)
@@ -359,6 +432,7 @@ class ExperimentRunner:
                     failure.point.override_dict)] = failure
             failures.extend(fresh_failures)
         timing.failed = len(failures)
+        timing.traces_generated = self.traces_generated - traces_before
         timing.wall_seconds = time.perf_counter() - batch_start
         if timing.points:
             self.batch_log.append(timing)

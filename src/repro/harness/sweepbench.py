@@ -1,0 +1,368 @@
+"""Sweep-level benchmark: wall-clock and memory cost of a multi-model sweep.
+
+The hot-loop benchmark (:mod:`repro.harness.hotloop`) tracks the timing
+simulator's inner loop; this module tracks the layer above it -- a whole
+parameter sweep, where since the fault-tolerant engine every point runs
+in a fresh session (supervised worker process) and functional tracing is
+repeated O(points) unless something persists the trace.  That something
+is the columnar trace store (DESIGN.md section 12); this benchmark is its
+tracked artifact (``BENCH_sweep.json``).
+
+Each *leg* runs the same point matrix -- BENCH_WORKLOADS x all four
+models x two store-buffer configurations -- one fresh runner per point,
+mirroring the one-process-per-point sweep:
+
+* ``legacy``     -- pre-trace-store behaviour, reproduced exactly: every
+                    point re-runs the functional CPU and simulates from a
+                    ``List[TraceEntry]``.  The baseline.
+* ``cold``       -- trace store + result cache enabled but empty: the
+                    first point of each workload traces and packs, every
+                    later point maps the blob.
+* ``warm_store`` -- trace store warm, result cache disabled: every point
+                    still simulates, but *zero* functional traces run.
+                    The store's isolated contribution.
+* ``warm``       -- trace store and result cache both warm: the re-run /
+                    resume workflow.  Zero traces, zero simulations.
+
+The headline ``speedup_warm`` (legacy wall / warm wall) is what a
+repeated sweep actually costs after this change; ``speedup_warm_store``
+isolates the trace store with the result cache out of the picture.  A
+separate probe forks one child per mode and compares peak RSS
+(``ru_maxrss``) of a worker simulating from a list trace vs. an
+``mmap``-ed packed trace.
+
+``--check`` (CI) asserts: zero functional traces on both warm legs,
+byte-identical IPC across all legs, the warm speedup floor, a warm-store
+speedup above noise, and an RSS drop.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from ..energy import energy_report
+from ..kernel import FunctionalCpu
+from ..kernel.trace import MAX_TRACE_INSTRUCTIONS
+from ..uarch import ModelKind, model_params
+from ..uarch.pipeline import Simulator
+from ..workloads import get_workload
+from .cache import NullCache, NullTraceStore, ResultCache, TraceStore
+from .hotloop import SCHEMA, calibrate, write_report  # shared report idiom
+from .runner import ExperimentRunner
+
+# Same memory-bound pair the hot-loop benchmark pins (the sweeps' floor).
+BENCH_WORKLOADS = ("mcf", "lbm")
+
+BENCH_MODELS = (ModelKind.BASELINE, ModelKind.NOSQ, ModelKind.DMDP,
+                ModelKind.PERFECT)
+
+# Two configurations per (workload, model): the sweep shape that makes
+# per-point re-tracing O(points) rather than O(workloads).
+BENCH_CONFIGS: Tuple[dict, ...] = ({}, {"store_buffer_entries": 8})
+
+# Scale used by ``--smoke`` (CI): same matrix, quarter iteration count.
+SMOKE_SCALE = 0.25
+
+# The RSS probe needs a trace long enough that the per-entry object
+# overhead of a ``List[TraceEntry]`` dominates the interpreter's baseline
+# footprint (~20 MB); sweep scales are too small for that, so the probe
+# runs its single point at its own larger scale.
+PROBE_SCALE = 8.0
+SMOKE_PROBE_SCALE = 4.0
+
+# ``--check`` gates.  The warm floor is the acceptance bar for the trace
+# store work; the warm-store floor only needs to clear measurement noise
+# (tracing is ~25-35% of a point's cost, so the honest isolated win is
+# ~1.2-1.35x on these workloads).
+MIN_WARM_SPEEDUP = 1.5
+MIN_WARM_STORE_SPEEDUP = 1.05
+
+_LEG_DESCRIPTIONS = {
+    "legacy": "no trace store, no result cache: every point re-traces "
+              "and re-simulates (pre-store behaviour)",
+    "cold": "trace store + result cache enabled but empty",
+    "warm_store": "trace store warm, result cache disabled: zero traces, "
+                  "every point still simulates",
+    "warm": "trace store and result cache warm: the re-run workflow",
+}
+
+
+def bench_points() -> List[Tuple[str, ModelKind, dict]]:
+    return [(workload, model, config)
+            for workload in BENCH_WORKLOADS
+            for model in BENCH_MODELS
+            for config in BENCH_CONFIGS]
+
+
+def _run_point_legacy(workload: str, model: ModelKind, overrides: dict,
+                      scale: Optional[float]) -> float:
+    """One pre-store point session: list trace, list-path simulation.
+
+    Reproduces what a fresh worker did before the trace store existed,
+    so the ``legacy`` leg is an honest baseline rather than a strawman.
+    """
+    spec = get_workload(workload)
+    iterations = None
+    if scale is not None:
+        iterations = max(1, int(round(spec.default_scale * scale)))
+    program = spec.build(iterations)
+    trace = FunctionalCpu(program).run_trace(
+        max_instructions=MAX_TRACE_INSTRUCTIONS)
+    params = model_params(model, **overrides)
+    stats = Simulator(program, trace, params).run()
+    energy_report(stats, params.energy)
+    return stats.ipc
+
+
+def _leg_runner(scale: Optional[float], store_root: Optional[Path],
+                cache_root: Optional[Path]) -> ExperimentRunner:
+    return ExperimentRunner(
+        scale=scale, jobs=1,
+        cache=(ResultCache(root=cache_root) if cache_root is not None
+               else NullCache()),
+        trace_store=(TraceStore(root=store_root) if store_root is not None
+                     else NullTraceStore()))
+
+
+def _run_leg(leg: str, scale: Optional[float],
+             store_root: Optional[Path], cache_root: Optional[Path],
+             repeats: int = 1, progress=None
+             ) -> Tuple[Dict[str, object], Dict[tuple, float]]:
+    """Run the full point matrix, one fresh runner per point.
+
+    With ``repeats`` > 1 the whole matrix is timed best-of-N (the legs
+    compared for speedups are idempotent, so re-running them is sound;
+    the min discards scheduler noise the way the hot-loop benchmark
+    does).  Trace/simulation counters come from the first pass -- they
+    are identical on every pass by construction.
+
+    Returns the leg's payload entry and its per-point IPC map (used to
+    assert every leg resolves byte-identical statistics).
+    """
+    ipc: Dict[tuple, float] = {}
+    traces = 0
+    loaded = 0
+    simulated = 0
+    wall = float("inf")
+    for attempt in range(max(1, repeats)):
+        start = time.perf_counter()
+        for workload, model, overrides in bench_points():
+            if leg == "legacy":
+                point_ipc = _run_point_legacy(workload, model, overrides,
+                                              scale)
+                if attempt == 0:
+                    traces += 1
+                    simulated += 1
+            else:
+                runner = _leg_runner(scale, store_root, cache_root)
+                point_ipc = runner.run(workload, model, **overrides).ipc
+                if attempt == 0:
+                    traces += runner.functional_traces
+                    loaded += runner.traces_loaded
+                    simulated += runner.points_simulated()
+            ipc[(workload, model.value,
+                 tuple(sorted(overrides.items())))] = point_ipc
+        wall = min(wall, time.perf_counter() - start)
+    if progress is not None:
+        progress("  leg %-10s %6.2fs  %2d traces  %2d sims"
+                 % (leg, wall, traces, simulated))
+    return {
+        "description": _LEG_DESCRIPTIONS[leg],
+        "wall_seconds": round(wall, 6),
+        "functional_traces": traces,
+        "traces_loaded": loaded,
+        "simulations": simulated,
+    }, ipc
+
+
+# -- RSS probe ---------------------------------------------------------------
+
+
+def _rss_probe_child(conn, mode: str, scale: Optional[float],
+                     store_root: Optional[str]) -> None:
+    """Simulate one (mcf, dmdp) point and report this process's peak RSS.
+
+    ``legacy`` holds the full ``List[TraceEntry]`` (one Python object per
+    dynamic instruction); ``packed`` maps the store's columnar blob.
+    """
+    import resource
+    try:
+        if mode == "legacy":
+            _run_point_legacy("mcf", ModelKind.DMDP, {}, scale)
+        else:
+            runner = _leg_runner(scale, Path(store_root), None)
+            runner.run("mcf", ModelKind.DMDP)
+            if runner.traces_generated:
+                conn.send(("error", "probe store was not warm"))
+                return
+        rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        conn.send(("ok", rss_kb))
+    except Exception as exc:     # pragma: no cover - surfaced to parent
+        conn.send(("error", repr(exc)))
+    finally:
+        conn.close()
+
+
+def measure_rss(scale: Optional[float],
+                store_root: Path) -> Dict[str, object]:
+    """Peak worker RSS, list-trace vs. packed-trace, via forked children.
+
+    Forking one child per mode gives each a clean address space, so
+    ``ru_maxrss`` reflects only that mode's trace representation.  The
+    packed child expects ``store_root`` to already hold mcf's trace at
+    ``scale`` (it asserts zero functional traces).
+    """
+    out: Dict[str, object] = {"probe_scale": scale,
+                              "point": "mcf/dmdp"}
+    for mode in ("legacy", "packed"):
+        recv, send = multiprocessing.Pipe(duplex=False)
+        proc = multiprocessing.Process(
+            target=_rss_probe_child,
+            args=(send, mode, scale, str(store_root)), daemon=True)
+        proc.start()
+        send.close()
+        try:
+            status, payload = recv.recv()
+        except EOFError:
+            status, payload = "error", "probe child died"
+        recv.close()
+        proc.join()
+        if status != "ok":
+            out["error"] = "%s probe: %s" % (mode, payload)
+            return out
+        out["%s_max_rss_kb" % mode] = payload
+    legacy = out["legacy_max_rss_kb"]
+    packed = out["packed_max_rss_kb"]
+    out["drop_kb"] = legacy - packed
+    out["drop_percent"] = round(100.0 * (legacy - packed) / legacy, 1)
+    return out
+
+
+# -- driver ------------------------------------------------------------------
+
+
+def run_benchmark(smoke: bool = False, scale: Optional[float] = None,
+                  repeats: int = 2, progress=None) -> Dict[str, object]:
+    """Run all four legs + the RSS probe; returns the report payload.
+
+    Stores live in a temporary directory, so the benchmark never touches
+    (or is contaminated by) the user's ``.repro-cache``.  Every leg
+    except ``cold`` (which by definition runs against empty stores and
+    would be warm on a second pass) is timed best-of-``repeats``.
+    """
+    if scale is None:
+        scale = SMOKE_SCALE if smoke else None
+    points = bench_points()
+    payload: Dict[str, object] = {
+        "schema": SCHEMA,
+        "benchmark": "sweep",
+        "mode": "smoke" if smoke else "full",
+        "scale": scale,
+        "workloads": list(BENCH_WORKLOADS),
+        "models": [model.value for model in BENCH_MODELS],
+        "configs": [dict(config) for config in BENCH_CONFIGS],
+        "points": len(points),
+        "repeats": repeats,
+        "calibration_seconds": round(calibrate(), 6),
+    }
+
+    with tempfile.TemporaryDirectory(prefix="repro-sweepbench-") as tmp:
+        store_root = Path(tmp) / "traces"
+        cache_root = Path(tmp) / "results"
+        legs: Dict[str, dict] = {}
+        ipc_by_leg: Dict[str, dict] = {}
+        # Leg order matters: ``cold`` populates the stores that
+        # ``warm_store`` and ``warm`` then reuse.
+        for leg, roots in (("legacy", (None, None)),
+                           ("cold", (store_root, cache_root)),
+                           ("warm_store", (store_root, None)),
+                           ("warm", (store_root, cache_root))):
+            legs[leg], ipc_by_leg[leg] = _run_leg(
+                leg, scale, roots[0], roots[1],
+                repeats=1 if leg == "cold" else repeats,
+                progress=progress)
+        payload["legs"] = legs
+        payload["stats_consistent"] = all(
+            ipc_by_leg[leg] == ipc_by_leg["legacy"]
+            for leg in ("cold", "warm_store", "warm"))
+
+        legacy_wall = legs["legacy"]["wall_seconds"]
+        payload["speedups"] = {
+            leg: round(legacy_wall / legs[leg]["wall_seconds"], 2)
+            for leg in ("cold", "warm_store", "warm")}
+
+        # RSS probe at its own (larger) scale: warm the store for it
+        # first, so the packed child maps a blob instead of tracing.
+        probe_scale = SMOKE_PROBE_SCALE if smoke else PROBE_SCALE
+        _leg_runner(probe_scale, store_root, None).ensure_trace("mcf")
+        payload["rss"] = measure_rss(probe_scale, store_root)
+    return payload
+
+
+def attach_check(payload: dict, check: bool = False,
+                 min_warm: float = MIN_WARM_SPEEDUP,
+                 min_warm_store: float = MIN_WARM_STORE_SPEEDUP) -> dict:
+    """Fold the pass/fail verdict into ``payload`` (mutates and returns).
+
+    Unlike the hot-loop check this needs no committed baseline: every
+    gate compares legs measured in the same session on the same machine,
+    so the thresholds are machine-independent.
+    """
+    if not check:
+        payload["check"] = {"enabled": False}
+        return payload
+    legs = payload["legs"]
+    rss = payload["rss"]
+    details = {
+        "warm_store_zero_retraces": legs["warm_store"][
+            "functional_traces"] == 0,
+        "warm_zero_retraces": legs["warm"]["functional_traces"] == 0,
+        "warm_zero_simulations": legs["warm"]["simulations"] == 0,
+        "stats_consistent": bool(payload["stats_consistent"]),
+        "warm_speedup_ok": payload["speedups"]["warm"] >= min_warm,
+        "warm_store_speedup_ok":
+            payload["speedups"]["warm_store"] >= min_warm_store,
+        "rss_drop_ok": "error" not in rss and rss["drop_kb"] > 0,
+    }
+    payload["check"] = {
+        "enabled": True,
+        "passed": all(details.values()),
+        "min_warm_speedup": min_warm,
+        "min_warm_store_speedup": min_warm_store,
+        "details": details,
+    }
+    return payload
+
+
+def format_report(payload: dict) -> str:
+    """Human-readable summary of a benchmark payload."""
+    lines = ["sweep benchmark (%s, %d points: %s x %s x %d configs)"
+             % (payload["mode"], payload["points"],
+                "/".join(payload["workloads"]),
+                "/".join(payload["models"]), len(payload["configs"]))]
+    for leg in ("legacy", "cold", "warm_store", "warm"):
+        entry = payload["legs"][leg]
+        lines.append("  %-10s %8.2fs  %2d traces  %2d sims"
+                     % (leg, entry["wall_seconds"],
+                        entry["functional_traces"], entry["simulations"]))
+    speedups = payload["speedups"]
+    lines.append("  speedup vs legacy: cold %.2fx  warm-store %.2fx  "
+                 "warm %.2fx" % (speedups["cold"], speedups["warm_store"],
+                                 speedups["warm"]))
+    rss = payload["rss"]
+    if "error" in rss:
+        lines.append("  rss probe failed: %s" % rss["error"])
+    else:
+        lines.append("  worker peak rss: %d KB list -> %d KB packed "
+                     "(%.1f%% drop)" % (rss["legacy_max_rss_kb"],
+                                        rss["packed_max_rss_kb"],
+                                        rss["drop_percent"]))
+    check = payload.get("check", {})
+    if check.get("enabled"):
+        lines.append("  check: %s" % ("PASS" if check["passed"] else
+                                      "FAIL %r" % check["details"]))
+    return "\n".join(lines)

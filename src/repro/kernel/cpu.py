@@ -15,7 +15,7 @@ from typing import List, Optional
 
 from ..isa import Instruction, Opcode, Program, STACK_TOP
 from .memory import SparseMemory
-from .trace import TraceEntry, TraceRecorder
+from .trace import MAX_TRACE_INSTRUCTIONS, TraceEntry, TraceRecorder
 
 WORD_MASK = 0xFFFFFFFF
 
@@ -133,7 +133,7 @@ class FunctionalCpu:
 
     # -- execution -------------------------------------------------------------
 
-    def run(self, max_instructions: int = 10_000_000,
+    def run(self, max_instructions: int = MAX_TRACE_INSTRUCTIONS,
             recorder: Optional[TraceRecorder] = None) -> int:
         """Run until HALT or the instruction cap; returns instructions run."""
         while not self.halted:
@@ -144,7 +144,8 @@ class FunctionalCpu:
             self.step(recorder)
         return self.instruction_count
 
-    def run_trace(self, max_instructions: int = 10_000_000) -> List[TraceEntry]:
+    def run_trace(self, max_instructions: int = MAX_TRACE_INSTRUCTIONS
+                  ) -> List[TraceEntry]:
         """Run to completion and return the dynamic trace."""
         recorder = TraceRecorder()
         self.run(max_instructions=max_instructions, recorder=recorder)
@@ -236,6 +237,7 @@ class FunctionalCpu:
 
 
 def run_program(program: Program,
-                max_instructions: int = 10_000_000) -> List[TraceEntry]:
+                max_instructions: int = MAX_TRACE_INSTRUCTIONS
+                ) -> List[TraceEntry]:
     """Convenience: execute ``program`` and return its dynamic trace."""
     return FunctionalCpu(program).run_trace(max_instructions=max_instructions)

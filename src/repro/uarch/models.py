@@ -11,7 +11,7 @@ from typing import Dict, List, Optional
 
 from ..isa import Program
 from ..kernel import FunctionalCpu
-from ..kernel.trace import TraceEntry
+from ..kernel.trace import MAX_TRACE_INSTRUCTIONS, TraceEntry
 from .params import CoreParams, ModelKind, model_params
 from .pipeline import Simulator
 from .stats import SimStats
@@ -21,7 +21,8 @@ ALL_MODELS = (ModelKind.BASELINE, ModelKind.NOSQ, ModelKind.DMDP,
 
 
 def trace_program(program: Program,
-                  max_instructions: int = 10_000_000) -> List[TraceEntry]:
+                  max_instructions: int = MAX_TRACE_INSTRUCTIONS
+                  ) -> List[TraceEntry]:
     """Run the functional simulator and return the dynamic trace."""
     return FunctionalCpu(program).run_trace(max_instructions=max_instructions)
 

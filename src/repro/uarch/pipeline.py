@@ -31,6 +31,7 @@ from ..isa.registers import (NUM_ARCH_REGS, NUM_LOGICAL_REGS, REG_AGI,
 from ..kernel.cpu import WORD_MASK, alu_result, sign_extend
 from ..kernel.memory import SparseMemory
 from ..kernel.trace import TraceEntry
+from ..kernel.tracestore import F_TAKEN
 from ..obs.tracer import NULL_TRACER, PipelineTracer
 from .branch import BranchPredictor
 from .cachesim import MemoryHierarchy
@@ -211,20 +212,27 @@ class Simulator:
         self.rename_cycle_of: Dict[int, int] = {}
 
         # Precomputed front-end behaviour (deterministic on the committed
-        # path, so squash/refetch replays identical predictions).
-        self._mispredicted = self._precompute_branch_outcomes()
-        self._history = self._precompute_history()
-
-        # Per-static-instruction decode cache (one shared template per
-        # static instruction), also indexable by trace position so the hot
-        # rename/crack path is a single list lookup.  Fast energy counter.
+        # path, so squash/refetch replays identical predictions) and the
+        # per-static-instruction decode cache (one shared template per
+        # static instruction, also indexable by trace position so the hot
+        # rename/crack path is a single list lookup).  A columnar
+        # PackedTrace takes a fused single pass over raw integer columns;
+        # the list path materialises the same data from TraceEntry
+        # objects.  Both produce identical tables (golden-pinned).
         self._dec: Dict[int, _Decoded] = {}
-        for entry in trace:
-            key = id(entry.instr)
-            if key not in self._dec:
-                self._dec[key] = _Decoded(entry.instr, params)
-        self._dec_by_index: List[_Decoded] = [
-            self._dec[id(entry.instr)] for entry in trace]
+        self._taken_bits = None
+        if getattr(trace, "columnar", False):
+            self._taken_bits = trace.flags_column()
+            self._init_from_columns(trace, params)
+        else:
+            self._mispredicted = self._precompute_branch_outcomes()
+            self._history = self._precompute_history()
+            for entry in trace:
+                key = id(entry.instr)
+                if key not in self._dec:
+                    self._dec[key] = _Decoded(entry.instr, params)
+            self._dec_by_index: List[_Decoded] = [
+                self._dec[id(entry.instr)] for entry in trace]
         self._ee = self.stats.energy_events
 
         # Per-cycle issue budget template; building this dict from enum
@@ -262,6 +270,53 @@ class Simulator:
             self.prf.set_ready(preg, 0)
             self.rename_map.append(preg)
         self.committed_map = list(self.rename_map)
+
+    def _init_from_columns(self, trace, params: CoreParams) -> None:
+        """Columnar fast path for the whole-trace precompute passes.
+
+        One fused scan over the packed integer columns builds the decode
+        tables, the branch-misprediction flags, and the rename-time
+        global-history values without materialising a single TraceEntry
+        -- equivalent, entry for entry, to ``_precompute_branch_outcomes``
+        + ``_precompute_history`` + the decode-cache loop on a
+        ``List[TraceEntry]``.
+        """
+        program = self.program
+        instrs = program.instructions
+        text_base = program.text_base
+        static = trace.static_column()
+        flags = trace.flags_column()
+        next_pcs = trace.next_pc_column()
+        n = len(static)
+        bpred = BranchPredictor(params.bpred_table_bits, params.btb_entries)
+        predict = bpred.predict_and_update
+        history_mask = (1 << params.predictor.history_bits) - 1
+        history = 0
+        mispredicted = [False] * n
+        histories = [0] * n
+        dec_cache = self._dec
+        dec_static: List[Optional[_Decoded]] = [None] * len(instrs)
+        dec_by_index: List[Optional[_Decoded]] = [None] * n
+        for i in range(n):
+            si = static[i]
+            dec = dec_static[si]
+            if dec is None:
+                instr = instrs[si]
+                dec = _Decoded(instr, params)
+                dec_static[si] = dec
+                dec_cache[id(instr)] = dec
+            dec_by_index[i] = dec
+            histories[i] = history
+            if dec.is_control:
+                taken = bool(flags[i] & F_TAKEN)
+                hit = predict(text_base + 4 * si, instrs[si], taken,
+                              next_pcs[i])
+                mispredicted[i] = not hit
+                if dec.is_cond_branch:
+                    history = ((history << 1) | taken) & history_mask
+        self._mispredicted = mispredicted
+        self._history = histories
+        self._dec_by_index = dec_by_index
 
     def _precompute_branch_outcomes(self) -> List[bool]:
         """Per trace entry: did the front end mispredict it?"""
@@ -1453,6 +1508,7 @@ class Simulator:
         trace = self.trace
         dec_by_index = self._dec_by_index
         mispredicted = self._mispredicted
+        taken_bits = self._taken_bits
         ee = self._ee
         tr = self._tr
         while fetched < width and self.fetch_index < total:
@@ -1469,7 +1525,8 @@ class Simulator:
                     # cycle is set at branch completion.
                     self._mark_pending_branch(index)
                     break
-                if trace[index].taken:
+                if (taken_bits[index] & F_TAKEN if taken_bits is not None
+                        else trace[index].taken):
                     break  # a taken branch ends the fetch group
 
     def _mark_pending_branch(self, index: int) -> None:

@@ -1,0 +1,354 @@
+"""Columnar trace store: packing fidelity, persistence, and sharing.
+
+Three layers under test (DESIGN.md Section 12):
+
+* the encoding -- ``PackedTrace`` must reproduce every ``TraceEntry``
+  field exactly, both from a materialised list and when traced directly
+  into columnar form, across randomized programs covering loads/stores
+  of all sizes, partial-word overlaps, silent stores, and branches;
+* the golden bar -- ``Simulator`` statistics must be byte-identical
+  whether it consumes the list or the packed representation;
+* the store -- corrupted/truncated/mismatched blobs read as clean
+  misses, a trace-format bump invalidates both trace *and* result keys,
+  and the runner + parallel engine perform zero functional re-traces
+  when the store is warm.
+"""
+
+import random
+
+import pytest
+
+from repro.harness.cache import (NullCache, NullTraceStore, ResultCache,
+                                 TraceStore)
+from repro.harness.parallel import make_point
+from repro.harness.runner import ExperimentRunner
+from repro.kernel import (MAX_TRACE_INSTRUCTIONS, FunctionalCpu, PackedTrace,
+                          pack_trace, run_trace_packed, write_trace)
+from repro.uarch import ALL_MODELS, ModelKind, Simulator, model_params
+from repro.uarch.models import trace_program
+from repro.workloads import get_workload
+
+from .test_differential_oracle import SEED, build_random_program
+
+NUM_RANDOM_PROGRAMS = 12
+
+FIELDS = ("index", "pc", "instr", "next_pc", "taken", "mem_addr",
+          "mem_size", "value", "dep_store", "dep_covers", "silent",
+          "word_addr", "bab")
+
+
+def assert_entries_identical(packed, entries):
+    __tracebackhide__ = True
+    assert len(packed) == len(entries)
+    for got, want in zip(packed, entries):
+        for field in FIELDS:
+            assert getattr(got, field) == getattr(want, field), (
+                "entry %d field %r: packed %r != original %r"
+                % (want.index, field,
+                   getattr(got, field), getattr(want, field)))
+
+
+def random_case(index):
+    rng = random.Random(SEED + index)
+    program = build_random_program(rng)
+    trace = FunctionalCpu(program).run_trace(max_instructions=200_000)
+    return program, trace
+
+
+def small_workload(name="mcf", fraction=0.1):
+    spec = get_workload(name)
+    iterations = max(1, int(round(spec.default_scale * fraction)))
+    return spec.build(iterations)
+
+
+class TestPackedTraceFidelity:
+    def test_randomized_programs_roundtrip_field_for_field(self):
+        for index in range(NUM_RANDOM_PROGRAMS):
+            program, trace = random_case(index)
+            packed = pack_trace(program, trace)
+            assert_entries_identical(packed, trace)
+
+    def test_columnar_recorder_matches_list_recorder(self):
+        # Tracing directly into columns must produce the same bytes as
+        # packing the list-recorded trace after the fact.
+        for index in range(4):
+            program, trace = random_case(index)
+            direct = run_trace_packed(program)
+            assert direct.to_bytes() == pack_trace(program,
+                                                   trace).to_bytes()
+
+    def test_disk_roundtrip_via_mmap(self, tmp_path):
+        from repro.kernel import load_trace
+        program, trace = random_case(0)
+        path = tmp_path / "case0.trc"
+        write_trace(path, pack_trace(program, trace))
+        loaded = load_trace(path, program)
+        assert loaded.columnar
+        assert_entries_identical(loaded, trace)
+
+    def test_slice_and_iter(self):
+        program, trace = random_case(1)
+        packed = pack_trace(program, trace)
+        window = packed[5:9]
+        assert [e.index for e in window] == [5, 6, 7, 8]
+        assert packed[-1].index == len(trace) - 1
+        assert sum(1 for _ in packed) == len(trace)
+
+    def test_pack_trace_passes_packed_through(self):
+        program, trace = random_case(2)
+        packed = pack_trace(program, trace)
+        assert pack_trace(program, packed) is packed
+
+
+class TestGoldenIdentity:
+    @pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: m.value)
+    def test_stats_identical_packed_vs_list(self, model):
+        program = small_workload()
+        trace = FunctionalCpu(program).run_trace(
+            max_instructions=MAX_TRACE_INSTRUCTIONS)
+        packed = pack_trace(program, trace)
+        from_list = Simulator(program, trace, model_params(model)).run()
+        from_packed = Simulator(program, packed, model_params(model)).run()
+        assert from_packed.to_dict() == from_list.to_dict()
+
+    def test_random_program_stats_identical(self):
+        program, trace = random_case(3)
+        packed = pack_trace(program, trace)
+        params = model_params(ModelKind.DMDP)
+        assert (Simulator(program, packed, params).run().to_dict()
+                == Simulator(program, trace, params).run().to_dict())
+
+
+class TestTraceStore:
+    def store(self, tmp_path):
+        return TraceStore(root=tmp_path / "traces", version="v1")
+
+    def test_put_load_roundtrip_and_counters(self, tmp_path):
+        store = self.store(tmp_path)
+        program, trace = random_case(0)
+        assert store.load("rand0", 10, program) is None
+        assert store.misses == 1
+        store.put("rand0", 10, pack_trace(program, trace))
+        loaded = store.load("rand0", 10, program)
+        assert store.hits == 1
+        assert_entries_identical(loaded, trace)
+        assert store.entry_count() == 1
+        assert store.size_bytes() > 0
+
+    def test_truncated_blob_is_clean_miss_and_repaired(self, tmp_path):
+        store = self.store(tmp_path)
+        program, trace = random_case(0)
+        store.put("rand0", 10, pack_trace(program, trace))
+        path = store.path_for("rand0", 10)
+        path.write_bytes(path.read_bytes()[:50])     # truncate mid-column
+        assert store.load("rand0", 10, program) is None
+        store.put("rand0", 10, pack_trace(program, trace))   # repair
+        assert store.load("rand0", 10, program) is not None
+
+    def test_garbage_bytes_are_clean_miss(self, tmp_path):
+        store = self.store(tmp_path)
+        program, _ = random_case(0)
+        path = store.path_for("rand0", 10)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b"\x00definitely not a packed trace")
+        assert store.load("rand0", 10, program) is None
+
+    def test_flipped_payload_byte_is_clean_miss(self, tmp_path):
+        # Right magic, right header, corrupted column data: the payload
+        # checksum must reject it rather than decode garbage entries.
+        store = self.store(tmp_path)
+        program, trace = random_case(0)
+        store.put("rand0", 10, pack_trace(program, trace))
+        path = store.path_for("rand0", 10)
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        assert store.load("rand0", 10, program) is None
+
+    def test_wrong_program_is_clean_miss(self, tmp_path):
+        store = self.store(tmp_path)
+        program_a, trace_a = random_case(0)
+        program_b, _ = random_case(1)
+        store.put("rand", 10, pack_trace(program_a, trace_a))
+        assert store.load("rand", 10, program_b) is None
+
+    def test_format_bump_changes_trace_key(self, tmp_path, monkeypatch):
+        from repro.kernel import tracestore
+        store = self.store(tmp_path)
+        program, trace = random_case(0)
+        store.put("rand0", 10, pack_trace(program, trace))
+        old_key = store.key_for("rand0", 10)
+        monkeypatch.setattr(tracestore, "TRACE_FORMAT_VERSION",
+                            tracestore.TRACE_FORMAT_VERSION + 1)
+        assert store.key_for("rand0", 10) != old_key
+        assert store.load("rand0", 10, program) is None    # miss, no crash
+
+    def test_format_bump_changes_result_cache_key(self, tmp_path,
+                                                  monkeypatch):
+        # Results are derived from decoded traces, so a trace-format bump
+        # must conservatively invalidate them too.
+        from repro.kernel import tracestore
+        cache = ResultCache(root=tmp_path / "cache", version="v1")
+        old_key = cache.key_for("bzip2", 50, ModelKind.DMDP, {})
+        monkeypatch.setattr(tracestore, "TRACE_FORMAT_VERSION",
+                            tracestore.TRACE_FORMAT_VERSION + 1)
+        assert cache.key_for("bzip2", 50, ModelKind.DMDP, {}) != old_key
+
+    def test_functional_version_in_key(self, tmp_path):
+        a = TraceStore(root=tmp_path / "t", version="v1")
+        b = TraceStore(root=tmp_path / "t", version="v2")
+        assert a.key_for("mcf", 10) != b.key_for("mcf", 10)
+
+    def test_gc_and_clear_sweep_blobs_and_orphans(self, tmp_path):
+        store = self.store(tmp_path)
+        program, trace = random_case(0)
+        store.put("rand0", 10, pack_trace(program, trace))
+        orphan_dir = store.root / "ab"
+        orphan_dir.mkdir(parents=True, exist_ok=True)
+        (orphan_dir / "dead.tmp").write_bytes(b"partial")
+        assert store.gc(min_age_seconds=3600.0) == 0
+        assert store.gc() == 1
+        assert store.clear() == 1
+        assert store.entries() == []
+
+    def test_null_store_is_inert(self):
+        store = NullTraceStore()
+        program, trace = random_case(0)
+        assert store.put("x", 1, pack_trace(program, trace)) is None
+        assert store.load("x", 1, program) is None
+        assert store.path_for("x", 1) is None
+        assert store.entry_count() == 0
+
+
+class TestRunnerIntegration:
+    def runner(self, tmp_path, **kwargs):
+        kwargs.setdefault("cache", NullCache())
+        kwargs.setdefault("trace_store",
+                          TraceStore(root=tmp_path / "traces"))
+        return ExperimentRunner(scale=0.1, jobs=1, **kwargs)
+
+    def test_warm_store_skips_functional_execution(self, tmp_path):
+        first = self.runner(tmp_path)
+        cold = first.run("mcf", ModelKind.DMDP)
+        assert (first.traces_generated, first.traces_loaded) == (1, 0)
+
+        second = self.runner(tmp_path)
+        warm = second.run("mcf", ModelKind.DMDP)
+        assert (second.traces_generated, second.traces_loaded) == (0, 1)
+        assert second.functional_traces == 0
+        assert warm.stats.to_dict() == cold.stats.to_dict()
+
+    def test_default_store_lives_under_cache_root(self, tmp_path):
+        runner = ExperimentRunner(
+            scale=0.1, cache=ResultCache(root=tmp_path / "cache"))
+        assert runner.trace_store.root == tmp_path / "cache" / "traces"
+
+    def test_no_cache_disables_trace_store_too(self):
+        runner = ExperimentRunner(scale=0.1, use_cache=False)
+        assert isinstance(runner.trace_store, NullTraceStore)
+
+    def test_attach_trace_bad_blob_falls_back_to_retrace(self, tmp_path):
+        runner = self.runner(tmp_path)
+        bad = tmp_path / "bad.trc"
+        bad.write_bytes(b"nope")
+        assert runner.attach_trace("mcf", str(bad)) is False
+        assert len(runner.trace("mcf")) > 0          # re-traced cleanly
+        assert runner.traces_generated == 1
+
+    def test_ensure_trace_populates_store(self, tmp_path):
+        runner = self.runner(tmp_path)
+        path = runner.ensure_trace("mcf")
+        assert path is not None
+        assert runner.trace_store.entry_count() == 1
+        adopter = self.runner(tmp_path)
+        assert adopter.attach_trace("mcf", path) is True
+        assert adopter.functional_traces == 0
+
+    def test_parallel_batch_zero_worker_retraces_with_store(self, tmp_path):
+        runner = ExperimentRunner(
+            scale=0.05, jobs=2, cache=ResultCache(root=tmp_path / "cache"),
+            trace_store=TraceStore(root=tmp_path / "traces"))
+        points = [make_point(w, m) for w in ("mcf", "lbm")
+                  for m in (ModelKind.BASELINE, ModelKind.DMDP)]
+        out = runner.run_batch(points)
+        assert len(out) == 4
+        assert runner.worker_retraces == 0
+        assert runner.traces_generated == 2          # parent, once each
+        timing = runner.batch_log[-1]
+        assert timing.worker_retraces == 0
+        assert timing.traces_generated == 2
+        assert timing.functional_traces == 2
+
+    def test_parallel_batch_without_store_retraces_per_worker(self):
+        runner = ExperimentRunner(scale=0.05, jobs=2, use_cache=False)
+        points = [make_point(w, ModelKind.DMDP) for w in ("mcf", "lbm")]
+        runner.run_batch(points)
+        assert runner.worker_retraces == 2
+        assert runner.batch_log[-1].worker_retraces == 2
+
+
+class TestTraceCaps:
+    def test_single_cap_constant_everywhere(self):
+        import inspect
+        for func in (FunctionalCpu.run, FunctionalCpu.run_trace,
+                     run_trace_packed, trace_program):
+            defaults = {
+                name: parameter.default
+                for name, parameter in
+                inspect.signature(func).parameters.items()}
+            assert defaults["max_instructions"] == MAX_TRACE_INSTRUCTIONS, (
+                "%s does not honor the shared trace cap" % func.__name__)
+
+
+class TestSweepBenchCheck:
+    def payload(self):
+        legs = {
+            "legacy": {"wall_seconds": 10.0, "functional_traces": 16,
+                       "simulations": 16},
+            "cold": {"wall_seconds": 8.0, "functional_traces": 2,
+                     "simulations": 16},
+            "warm_store": {"wall_seconds": 7.5, "functional_traces": 0,
+                           "simulations": 16},
+            "warm": {"wall_seconds": 0.5, "functional_traces": 0,
+                     "simulations": 0},
+        }
+        return {
+            "legs": legs,
+            "stats_consistent": True,
+            "speedups": {"cold": 1.25, "warm_store": 1.33, "warm": 20.0},
+            "rss": {"legacy_max_rss_kb": 50_000,
+                    "packed_max_rss_kb": 30_000,
+                    "drop_kb": 20_000, "drop_percent": 40.0},
+        }
+
+    def test_passes_on_healthy_payload(self):
+        from repro.harness import sweepbench
+        checked = sweepbench.attach_check(self.payload(), check=True)
+        assert checked["check"]["passed"], checked["check"]["details"]
+
+    def test_fails_on_warm_leg_retrace(self):
+        from repro.harness import sweepbench
+        payload = self.payload()
+        payload["legs"]["warm_store"]["functional_traces"] = 1
+        checked = sweepbench.attach_check(payload, check=True)
+        assert not checked["check"]["passed"]
+        assert not checked["check"]["details"]["warm_store_zero_retraces"]
+
+    def test_fails_below_warm_speedup_floor(self):
+        from repro.harness import sweepbench
+        payload = self.payload()
+        payload["speedups"]["warm"] = 1.2
+        checked = sweepbench.attach_check(payload, check=True)
+        assert not checked["check"]["passed"]
+
+    def test_fails_on_rss_regression(self):
+        from repro.harness import sweepbench
+        payload = self.payload()
+        payload["rss"]["drop_kb"] = -100
+        checked = sweepbench.attach_check(payload, check=True)
+        assert not checked["check"]["details"]["rss_drop_ok"]
+
+    def test_disabled_check_records_nothing(self):
+        from repro.harness import sweepbench
+        checked = sweepbench.attach_check(self.payload(), check=False)
+        assert checked["check"] == {"enabled": False}

@@ -1,15 +1,23 @@
 #!/usr/bin/env python
-"""Profile the simulator hot loop with cProfile.
+"""Profile one simulation point end-to-end with cProfile.
 
-Builds one workload trace (excluded from the profile), runs
-``Simulator.run()`` under cProfile, prints the top functions by cumulative
-time, and optionally dumps the raw profile for ``snakeviz``/``pstats``:
+Runs the whole point -- functional tracing *and* timing simulation --
+under one profile, prints the top functions by cumulative time, and
+closes with a phase split (trace seconds vs. sim seconds vs. trace-store
+I/O) so "the simulator is slow" can be attributed to the right loop:
 
     PYTHONPATH=src python tools/profile_sim.py mcf --model dmdp --top 25
     PYTHONPATH=src python tools/profile_sim.py lbm --output lbm.prof
+    PYTHONPATH=src python tools/profile_sim.py mcf --packed
 
-The same profile can be captured for any CLI command with the global
-``repro --profile`` flag.
+``--packed`` traces into the columnar :class:`PackedTrace` form (the
+harness default since the trace store landed); the default traces into a
+``List[TraceEntry]`` like the pre-store pipeline, which is the right
+baseline when comparing the two representations.  ``--sim-only``
+restores the old behaviour of profiling ``Simulator.run()`` alone.
+
+The same profile (plus phase split) can be captured for any CLI command
+with the global ``repro --profile`` flag.
 """
 
 from __future__ import annotations
@@ -24,7 +32,8 @@ from pathlib import Path
 REPO = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO / "src"))
 
-from repro.kernel import FunctionalCpu                      # noqa: E402
+from repro.kernel import (FunctionalCpu, MAX_TRACE_INSTRUCTIONS,
+                          run_trace_packed)                 # noqa: E402
 from repro.uarch import ModelKind, model_params             # noqa: E402
 from repro.uarch.pipeline import Simulator                  # noqa: E402
 from repro.workloads import ALL_NAMES, get_workload         # noqa: E402
@@ -32,13 +41,19 @@ from repro.workloads import ALL_NAMES, get_workload         # noqa: E402
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
-        description="cProfile harness for Simulator.run()")
+        description="cProfile harness for one trace+simulate point")
     parser.add_argument("workload", choices=ALL_NAMES, nargs="?",
                         default="mcf")
     parser.add_argument("--model", default="dmdp",
                         choices=[m.value for m in ModelKind])
     parser.add_argument("--scale", type=float, default=None,
                         help="workload scale factor (default: full)")
+    parser.add_argument("--packed", action="store_true",
+                        help="trace into the columnar PackedTrace form "
+                             "(harness default) instead of List[TraceEntry]")
+    parser.add_argument("--sim-only", action="store_true",
+                        help="profile Simulator.run() alone, trace "
+                             "construction excluded")
     parser.add_argument("--top", type=int, default=25,
                         help="rows of the cumulative-time report")
     parser.add_argument("--sort", default="cumulative",
@@ -52,20 +67,45 @@ def main(argv=None) -> int:
     if args.scale is not None:
         iterations = max(1, int(round(iterations * args.scale)))
     program = spec.build(iterations)
-    trace = FunctionalCpu(program).run_trace(max_instructions=5_000_000)
     params = model_params(ModelKind(args.model))
-    sim = Simulator(program, trace, params)
+
+    def build_trace():
+        if args.packed:
+            return run_trace_packed(program)
+        return FunctionalCpu(program).run_trace(
+            max_instructions=MAX_TRACE_INSTRUCTIONS)
 
     profile = cProfile.Profile()
     start = time.perf_counter()
-    profile.enable()
-    stats = sim.run()
-    profile.disable()
-    elapsed = time.perf_counter() - start
+    if args.sim_only:
+        trace = build_trace()
+        trace_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        profile.enable()
+        stats = Simulator(program, trace, params).run()
+        profile.disable()
+        sim_seconds = time.perf_counter() - start
+    else:
+        profile.enable()
+        trace = build_trace()
+        trace_seconds = time.perf_counter() - start
+        sim_start = time.perf_counter()
+        stats = Simulator(program, trace, params).run()
+        profile.disable()
+        sim_seconds = time.perf_counter() - sim_start
+    elapsed = trace_seconds + sim_seconds
 
-    print("%s/%s: %d instructions, %d cycles in %.3fs (%.0f cycles/sec)"
-          % (args.workload, args.model, stats.instructions, stats.cycles,
-             elapsed, stats.cycles / elapsed))
+    print("%s/%s (%s trace): %d instructions, %d cycles in %.3fs "
+          "(%.0f cycles/sec)"
+          % (args.workload, args.model,
+             "packed" if args.packed else "list",
+             stats.instructions, stats.cycles, elapsed,
+             stats.cycles / sim_seconds))
+    print("phase attribution:")
+    print("  functional tracing   %9.3fs  %5.1f%%"
+          % (trace_seconds, 100.0 * trace_seconds / elapsed))
+    print("  timing simulation    %9.3fs  %5.1f%%"
+          % (sim_seconds, 100.0 * sim_seconds / elapsed))
     report = pstats.Stats(profile)
     report.sort_stats(args.sort).print_stats(args.top)
     if args.output:
