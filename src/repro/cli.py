@@ -34,6 +34,14 @@ Commands
     regimes plus worker peak RSS, and write ``BENCH_sweep.json``;
     ``--check`` fails when the warm sweep misses its speedup floor or a
     warm leg performs any functional re-trace (see DESIGN.md Section 12).
+``fuzz run / repro / corpus / profiles``
+    Differential fuzzing farm (see DESIGN.md Section 13): ``run``
+    executes a seeded campaign of pathology-biased programs through the
+    three-oracle stack on every model, auto-minimizing any divergence
+    into a replayable JSON artifact; ``repro ARTIFACT`` replays one
+    artifact and checks that the same divergence class reappears;
+    ``corpus`` replays the distilled regression corpus
+    (``tests/corpus``); ``profiles`` lists the bias profiles.
 
 Global flags: ``--jobs N`` fans simulation points out over N worker
 processes; ``--no-cache`` disables the persistent result cache (location:
@@ -214,6 +222,52 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--output", default="BENCH_sweep.json",
                        metavar="PATH", help="report path "
                                             "(default: BENCH_sweep.json)")
+
+    fuzz = sub.add_parser("fuzz", help="differential fuzzing farm")
+    fuzz_sub = fuzz.add_subparsers(dest="fuzz_command", required=True)
+    fuzz_run = fuzz_sub.add_parser(
+        "run", help="run a seeded fuzz campaign")
+    fuzz_run.add_argument("--profile", dest="fuzz_profiles",
+                          action="append", default=None, metavar="NAME",
+                          help="bias profile (repeatable; default: mixed; "
+                               "see 'fuzz profiles')")
+    fuzz_run.add_argument("--iterations", type=int, default=100,
+                          metavar="N",
+                          help="programs per profile (default: 100)")
+    fuzz_run.add_argument("--seed", type=int, default=20180604,
+                          help="base seed (default: 20180604)")
+    fuzz_run.add_argument("--models", default=None, metavar="M1,M2",
+                          help="comma-separated model subset "
+                               "(default: all four)")
+    fuzz_run.add_argument("--collide", type=float, default=None,
+                          metavar="RATE",
+                          help="override every profile's store->load "
+                               "collision bias (0..1)")
+    fuzz_run.add_argument("--mutate", default=None, metavar="NAME",
+                          help="inject a known-bad trace mutation into "
+                               "every check (test-only; validates the "
+                               "catch->minimize->replay pipeline)")
+    fuzz_run.add_argument("--no-minimize", action="store_true",
+                          help="archive divergences without delta-"
+                               "debugging them first")
+    fuzz_run.add_argument("--artifacts", default="fuzz-artifacts",
+                          metavar="DIR",
+                          help="directory for failure artifacts "
+                               "(default: fuzz-artifacts)")
+    fuzz_repro = fuzz_sub.add_parser(
+        "repro", help="replay one failure artifact")
+    fuzz_repro.add_argument("artifact", metavar="ARTIFACT.json")
+    fuzz_repro.add_argument("--from-seed", action="store_true",
+                            help="regenerate the program from (profile, "
+                                 "seed) instead of the embedded IR; "
+                                 "errors out when the generator changed "
+                                 "since the artifact was recorded")
+    fuzz_corpus = fuzz_sub.add_parser(
+        "corpus", help="replay the distilled regression corpus")
+    fuzz_corpus.add_argument("--dir", default="tests/corpus",
+                             help="corpus directory "
+                                  "(default: tests/corpus)")
+    fuzz_sub.add_parser("profiles", help="list the bias profiles")
     return parser
 
 
@@ -470,6 +524,97 @@ def cmd_bench_sweep(args, out) -> int:
     return 0
 
 
+def _print_divergences(report, out) -> None:
+    rows = [[d.oracle, d.model, d.detail] for d in report.divergences]
+    print(format_table(["oracle", "model", "detail"], rows), file=out)
+
+
+def _replay_artifact(artifact, ir, out):
+    """Replay one artifact; returns (report, verdict_string, passed)."""
+    from . import fuzz
+    report = fuzz.check_ir(ir, mutation=artifact.mutation)
+    if artifact.kind == "regression":
+        # Corpus entries are distilled pathology programs that must stay
+        # clean: any divergence is a real regression.
+        return report, "clean" if report.ok else "DIVERGED", report.ok
+    reproduced = report.coarse_signature == artifact.coarse_signature
+    if reproduced:
+        return report, "reproduced %s" % report.coarse_signature, True
+    return (report,
+            "NOT reproduced (got %s, artifact recorded %s)"
+            % (report.coarse_signature or "clean",
+               artifact.coarse_signature), False)
+
+
+def cmd_fuzz(args, out) -> int:
+    from . import fuzz
+    if args.fuzz_command == "profiles":
+        rows = [[p.name, p.description] for p in fuzz.PROFILES.values()]
+        print(format_table(["profile", "bias"], rows,
+                           title="Bias profiles"), file=out)
+        return 0
+
+    if args.fuzz_command == "run":
+        policy = RetryPolicy(retries=max(0, args.retries),
+                             timeout=args.timeout,
+                             backoff=max(0.0, args.backoff))
+        models = (ALL_MODELS if args.models is None else
+                  [_model(name) for name in args.models.split(",")])
+        report = fuzz.run_campaign(
+            args.fuzz_profiles or ["mixed"],
+            iterations=args.iterations, seed=args.seed, models=models,
+            jobs=args.jobs, mutation=args.mutate,
+            minimize_findings=not args.no_minimize,
+            artifacts_dir=args.artifacts, collide=args.collide,
+            policy=policy, progress=lambda line: print(line, file=out))
+        print(report.format(), file=out)
+        return 0 if report.ok else 1
+
+    if args.fuzz_command == "repro":
+        try:
+            artifact = fuzz.load_artifact(args.artifact)
+        except (OSError, ValueError, KeyError) as exc:
+            print("error: cannot load artifact: %s" % exc, file=out)
+            return 2
+        try:
+            ir = (artifact.regenerate_ir() if args.from_seed
+                  else artifact.replay_ir)
+        except fuzz.StaleArtifactError as exc:
+            print("error: stale artifact: %s" % exc, file=out)
+            return 2
+        report, verdict, passed = _replay_artifact(artifact, ir, out)
+        print("artifact   %s (%s)" % (args.artifact, artifact.kind),
+              file=out)
+        print("program    %s%s" % (artifact.program_id,
+                                   "  [mutation=%s]" % artifact.mutation
+                                   if artifact.mutation else ""), file=out)
+        if report.divergences:
+            _print_divergences(report, out)
+        print("verdict    %s" % verdict, file=out)
+        return 0 if passed else 1
+
+    # corpus: replay every artifact in the directory.
+    import glob
+    import os
+    paths = sorted(glob.glob(os.path.join(args.dir, "*.json")))
+    if not paths:
+        print("error: no artifacts under %s" % args.dir, file=out)
+        return 2
+    rows = []
+    failures = 0
+    for path in paths:
+        artifact = fuzz.load_artifact(path)
+        report, verdict, passed = _replay_artifact(
+            artifact, artifact.replay_ir, out)
+        failures += 0 if passed else 1
+        rows.append([os.path.basename(path), artifact.kind,
+                     artifact.profile.name, verdict])
+    print(format_table(["artifact", "kind", "profile", "verdict"], rows,
+                       title="Corpus replay (%d artifacts)" % len(paths)),
+          file=out)
+    return 1 if failures else 0
+
+
 COMMANDS = {
     "list": cmd_list,
     "compare": cmd_compare,
@@ -480,6 +625,7 @@ COMMANDS = {
     "cache": cmd_cache,
     "bench-hotloop": cmd_bench_hotloop,
     "bench-sweep": cmd_bench_sweep,
+    "fuzz": cmd_fuzz,
 }
 
 

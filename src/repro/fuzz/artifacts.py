@@ -1,0 +1,160 @@
+"""Self-contained, replayable fuzz failure artifacts.
+
+An artifact is one JSON file holding everything needed to re-run a
+divergence: the originating spec (bias profile + seed + generator
+version), the full program IR, the minimized IR, the divergence records,
+and the signatures.  ``repro fuzz repro <artifact>`` replays it and
+reports whether the same divergence class reappears.
+
+Reproducibility policy (the "stale artifact" rule): replay always
+prefers the *embedded* IR, which survives any generator edit.  Only when
+the caller explicitly asks to regenerate from the seed (``--from-seed``)
+does the recorded generator version hash matter -- a mismatch raises
+:class:`StaleArtifactError` instead of silently generating a different
+program under the old name.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .generator import (BiasProfile, ProgramSpec, generate_ir,
+                        generator_version, ir_from_json, validate_ir)
+from .oracles import CheckReport, Divergence
+
+import random
+
+ARTIFACT_FORMAT = 1
+
+
+class StaleArtifactError(Exception):
+    """Seed-based regeneration requested against an edited generator."""
+
+
+@dataclass
+class Artifact:
+    """One serialized fuzz finding."""
+
+    kind: str                       # "divergence" | "regression"
+    profile: BiasProfile
+    seed: int
+    generator_version: str
+    mutation: Optional[str]
+    ir: Dict[str, object]
+    minimized_ir: Optional[Dict[str, object]]
+    signature: str                  # full signature at discovery time
+    coarse_signature: str           # the invariant replay must reproduce
+    divergences: List[Divergence] = field(default_factory=list)
+    minimize_info: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def program_id(self) -> str:
+        return "fuzz-%s-%d" % (self.profile.name, self.seed)
+
+    @property
+    def replay_ir(self) -> Dict[str, object]:
+        """The IR a replay runs: minimized when available."""
+        return self.minimized_ir if self.minimized_ir is not None else self.ir
+
+    def regenerate_ir(self) -> Dict[str, object]:
+        """Rebuild the IR from (profile, seed) -- the path that can rot.
+
+        Raises :class:`StaleArtifactError` when the generator has been
+        edited since the artifact was recorded, because the same seed
+        would then denote a *different* program.
+        """
+        current = generator_version()
+        if current != self.generator_version:
+            raise StaleArtifactError(
+                "artifact %s was recorded with generator %s but the "
+                "current generator is %s; the seed no longer denotes the "
+                "same program.  Replay the embedded IR instead (the "
+                "default), or re-fuzz to produce a fresh artifact."
+                % (self.program_id, self.generator_version, current))
+        return generate_ir(random.Random(self.seed), self.profile)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "format": ARTIFACT_FORMAT,
+            "kind": self.kind,
+            "profile": self.profile.to_dict(),
+            "seed": self.seed,
+            "generator_version": self.generator_version,
+            "mutation": self.mutation,
+            "ir": self.ir,
+            "minimized_ir": self.minimized_ir,
+            "signature": self.signature,
+            "coarse_signature": self.coarse_signature,
+            "divergences": [d.to_dict() for d in self.divergences],
+            "minimize_info": dict(self.minimize_info),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Artifact":
+        if data.get("format") != ARTIFACT_FORMAT:
+            raise ValueError("unsupported artifact format %r (expected %d)"
+                             % (data.get("format"), ARTIFACT_FORMAT))
+        validate_ir(data["ir"])
+        if data.get("minimized_ir") is not None:
+            validate_ir(data["minimized_ir"])
+        return cls(
+            kind=data["kind"],
+            profile=BiasProfile.from_dict(data["profile"]),
+            seed=int(data["seed"]),
+            generator_version=data["generator_version"],
+            mutation=data.get("mutation"),
+            ir=data["ir"],
+            minimized_ir=data.get("minimized_ir"),
+            signature=data["signature"],
+            coarse_signature=data["coarse_signature"],
+            divergences=[Divergence.from_dict(d)
+                         for d in data.get("divergences", [])],
+            minimize_info=dict(data.get("minimize_info", {})))
+
+
+def from_finding(spec: ProgramSpec, ir: Dict[str, object],
+                 report: CheckReport, mutation: Optional[str] = None,
+                 minimized_ir: Optional[Dict[str, object]] = None,
+                 minimize_info: Optional[Dict[str, object]] = None,
+                 kind: str = "divergence") -> Artifact:
+    """Package a diverging check into a self-contained artifact."""
+    if report.ok:
+        raise ValueError("cannot build an artifact from a clean report")
+    return Artifact(kind=kind, profile=spec.profile, seed=spec.seed,
+                    generator_version=generator_version(),
+                    mutation=mutation, ir=ir, minimized_ir=minimized_ir,
+                    signature=report.signature,
+                    coarse_signature=report.coarse_signature,
+                    divergences=list(report.divergences),
+                    minimize_info=dict(minimize_info or {}))
+
+
+def artifact_filename(artifact: Artifact) -> str:
+    return "%s-%s.json" % (artifact.program_id, artifact.coarse_signature)
+
+
+def write_artifact(artifact: Artifact, directory: str) -> str:
+    """Write one artifact into ``directory``; returns the file path."""
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, artifact_filename(artifact))
+    with open(path, "w") as handle:
+        json.dump(artifact.to_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_artifact(path: str) -> Artifact:
+    with open(path) as handle:
+        data = json.load(handle)
+    # Route IRs through the JSON validator for a uniform error surface.
+    data["ir"] = ir_from_json(json.dumps(data["ir"]))
+    return Artifact.from_dict(data)
+
+
+__all__ = [
+    "ARTIFACT_FORMAT", "Artifact", "StaleArtifactError",
+    "artifact_filename", "from_finding", "load_artifact", "write_artifact",
+]

@@ -1,0 +1,334 @@
+"""Deterministic delta-debugging over fuzz program IR.
+
+``minimize`` shrinks an IR dict while preserving the *coarse* divergence
+signature (which oracles broke under which models -- see
+:attr:`~repro.fuzz.oracles.CheckReport.coarse_signature`).  Value-level
+details (register contents, cycle budgets) legitimately change as the
+program shrinks, so they are deliberately not part of the invariant.
+
+The contract with the caller-supplied ``check`` function:
+
+* ``check(ir) -> Optional[str]`` returns the coarse signature (``None``
+  when the program is clean) and must not raise -- wrap the oracle stack
+  with :func:`~repro.fuzz.oracles.check_ir`, which turns crashes into a
+  ``crash`` divergence class;
+* minimization is fully deterministic: the passes use no randomness, so
+  a fixed (IR, check) pair always yields the same result;
+* the result never has more static instructions than the input -- every
+  pass only deletes ops or replaces operands with smaller literals.
+
+Pass pipeline (repeated to a fixed point, under a shared check budget):
+loop-trip shrink, ddmin over the loop body, ddmin inside branch arms,
+ddmin over each function body, unreachable-function removal, register
+initializer removal, data-segment truncate-and-zero, operand zeroing.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .generator import called_functions, materialize
+
+CheckFn = Callable[[Dict[str, object]], Optional[str]]
+
+DEFAULT_MAX_CHECKS = 1500
+
+
+@dataclass
+class MinimizeResult:
+    """Outcome of one minimization run."""
+
+    ir: Dict[str, object]
+    reproduced: bool              # the input diverged at all
+    signature: Optional[str]      # coarse signature preserved by the shrink
+    checks_used: int
+    initial_instructions: int
+    final_instructions: int
+    passes_applied: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"reproduced": self.reproduced, "signature": self.signature,
+                "checks_used": self.checks_used,
+                "initial_instructions": self.initial_instructions,
+                "final_instructions": self.final_instructions,
+                "passes_applied": list(self.passes_applied)}
+
+
+def _static_len(ir: Dict[str, object]) -> int:
+    try:
+        return len(materialize(ir).instructions)
+    except Exception:  # noqa: BLE001 -- crash-class IRs have no length
+        return -1
+
+
+class _Shrinker:
+    """Carries the check budget and target signature through the passes."""
+
+    def __init__(self, check: CheckFn, target: str, max_checks: int):
+        self.check = check
+        self.target = target
+        self.max_checks = max_checks
+        self.checks_used = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self.checks_used >= self.max_checks
+
+    def still_diverges(self, ir: Dict[str, object]) -> bool:
+        if self.exhausted:
+            return False
+        self.checks_used += 1
+        return self.check(ir) == self.target
+
+    # -- generic ddmin over a list -------------------------------------
+
+    def ddmin_list(self, items: Sequence[object],
+                   rebuild: Callable[[List[object]], Dict[str, object]]
+                   ) -> Optional[List[object]]:
+        """Classic ddmin: smallest (order-preserving) sublist for which
+        ``rebuild(sublist)`` still diverges; None when nothing shrank."""
+        items = list(items)
+        if not items:
+            return None
+        if self.still_diverges(rebuild([])):
+            return []
+        improved = False
+        granularity = 2
+        while len(items) >= 2 and not self.exhausted:
+            chunk = max(1, len(items) // granularity)
+            chunks = [items[i:i + chunk]
+                      for i in range(0, len(items), chunk)]
+            reduced = False
+            for drop in range(len(chunks)):
+                candidate = [op for index, part in enumerate(chunks)
+                             if index != drop for op in part]
+                if candidate and self.still_diverges(rebuild(candidate)):
+                    items = candidate
+                    improved = reduced = True
+                    granularity = max(2, granularity - 1)
+                    break
+            if not reduced:
+                if chunk == 1:
+                    break
+                granularity = min(len(items), granularity * 2)
+        return items if improved else None
+
+
+def _replace(ir: Dict[str, object], key: str,
+             value: object) -> Dict[str, object]:
+    out = dict(ir)
+    out[key] = value
+    return out
+
+
+# -- passes ------------------------------------------------------------------
+# Each pass takes (ir, shrinker) and returns a smaller IR or None.
+
+def _pass_loop_iters(ir, sh):
+    current = ir["loop_iters"]
+    for trial in (1, 2, 4, 8, 16):
+        if trial >= current:
+            break
+        candidate = _replace(ir, "loop_iters", trial)
+        if sh.still_diverges(candidate):
+            return candidate
+    return None
+
+
+def _pass_body(ir, sh):
+    smaller = sh.ddmin_list(ir["body"], lambda ops: _replace(ir, "body", ops))
+    return _replace(ir, "body", smaller) if smaller is not None else None
+
+
+def _branch_sites(ops, path=()):
+    """(path, branch-op) pairs for every branch, depth-first."""
+    for index, op in enumerate(ops):
+        if op[0] == "branch":
+            yield path + (index,), op
+            yield from _branch_sites(op[4], path + (index, 4))
+
+
+def _ops_at(ir, where, path):
+    node = ir[where] if where == "body" else ir["funcs"][where][1]
+    for step in path:
+        node = node[step]
+    return node
+
+
+def _rebuild_branch_arm(ir, where, path, arm):
+    out = copy.deepcopy(ir)
+    node = _ops_at(out, where, path)
+    node[4] = arm
+    return out
+
+
+def _pass_branch_arms(ir, sh):
+    result = None
+    current = copy.deepcopy(ir)
+    regions = [("body", ())] + [(i, ()) for i in range(len(ir["funcs"]))]
+    for where, base in regions:
+        ops = current[where] if where == "body" else current["funcs"][where][1]
+        # Reversed pre-order: nested branches shrink before their parents,
+        # so a parent-arm shrink can never invalidate a pending child path.
+        for path, op in reversed(list(_branch_sites(ops, base))):
+            smaller = sh.ddmin_list(
+                op[4], lambda arm, w=where, p=path:
+                _rebuild_branch_arm(current, w, p, arm))
+            if smaller is not None:
+                current = _rebuild_branch_arm(current, where, path, smaller)
+                result = current
+    return result
+
+
+def _pass_funcs(ir, sh):
+    result = None
+    current = ir
+    for index in range(len(ir["funcs"])):
+        name = current["funcs"][index][0]
+
+        def rebuild(ops, i=index, n=name):
+            funcs = [list(f) for f in current["funcs"]]
+            funcs[i] = [n, ops]
+            return _replace(current, "funcs", funcs)
+
+        smaller = sh.ddmin_list(current["funcs"][index][1], rebuild)
+        if smaller is not None:
+            current = rebuild(smaller)
+            result = current
+    return result
+
+
+def _pass_drop_unreachable_funcs(ir, sh):
+    reachable = set(called_functions(ir))
+    kept = [f for f in ir["funcs"] if f[0] in reachable]
+    if len(kept) == len(ir["funcs"]):
+        return None
+    candidate = _replace(ir, "funcs", kept)
+    return candidate if sh.still_diverges(candidate) else None
+
+
+def _pass_reg_init(ir, sh):
+    smaller = sh.ddmin_list(
+        ir["reg_init"], lambda init: _replace(ir, "reg_init", init))
+    return _replace(ir, "reg_init", smaller) if smaller is not None else None
+
+
+def _pass_data_words(ir, sh):
+    result = None
+    current = ir
+    words = list(current["data_words"])
+    length = len(words)
+    while length > 1 and not sh.exhausted:  # truncate by halving
+        length = max(1, length // 2)
+        candidate = _replace(current, "data_words", words[:length])
+        if sh.still_diverges(candidate):
+            current = candidate
+            words = words[:length]
+            result = current
+        else:
+            break
+    for index, word in enumerate(words):  # then zero the survivors
+        if word == 0 or sh.exhausted:
+            continue
+        trial = list(words)
+        trial[index] = 0
+        candidate = _replace(current, "data_words", trial)
+        if sh.still_diverges(candidate):
+            current = candidate
+            words = trial
+            result = current
+    return result
+
+
+def _literal_sites(ops, path=()):
+    """(path-to-op, operand-index) for every zeroable literal operand."""
+    for index, op in enumerate(ops):
+        here = path + (index,)
+        if op[0] in ("alui", "shift") and op[4] != 0:
+            yield here, 4
+        elif op[0] in ("load", "store") and op[3] != 0:
+            yield here, 3
+        elif op[0] == "branch":
+            yield from _literal_sites(op[4], here + (4,))
+
+
+def _pass_operands(ir, sh):
+    result = None
+    current = copy.deepcopy(ir)
+    regions = [("body",)] + [(i,) for i in range(len(current["funcs"]))]
+    for (where,) in regions:
+        ops = current[where] if where == "body" else current["funcs"][where][1]
+        for path, operand in list(_literal_sites(ops)):
+            if sh.exhausted:
+                break
+            trial = copy.deepcopy(current)
+            node = _ops_at(trial, where, path)
+            node[operand] = 0
+            if sh.still_diverges(trial):
+                current = trial
+                result = current
+    for reg, value in list(current["reg_init"]):
+        if value == 0 or sh.exhausted:
+            continue
+        trial = copy.deepcopy(current)
+        for pair in trial["reg_init"]:
+            if pair[0] == reg:
+                pair[1] = 0
+        if sh.still_diverges(trial):
+            current = trial
+            result = current
+    return result
+
+
+_PASSES = [
+    ("loop-iters", _pass_loop_iters),
+    ("body", _pass_body),
+    ("branch-arms", _pass_branch_arms),
+    ("funcs", _pass_funcs),
+    ("drop-unreachable-funcs", _pass_drop_unreachable_funcs),
+    ("reg-init", _pass_reg_init),
+    ("data-words", _pass_data_words),
+    ("operands", _pass_operands),
+]
+
+
+def minimize(ir: Dict[str, object], check: CheckFn,
+             max_checks: int = DEFAULT_MAX_CHECKS) -> MinimizeResult:
+    """Shrink ``ir`` while ``check`` keeps returning the same signature.
+
+    Runs the pass pipeline to a fixed point (or until ``max_checks``
+    oracle invocations), deterministically.  When the input does not
+    diverge at all, returns ``reproduced=False`` with the IR untouched.
+    """
+    ir = copy.deepcopy(ir)
+    initial = _static_len(ir)
+    target = check(ir)
+    if target is None:
+        return MinimizeResult(ir=ir, reproduced=False, signature=None,
+                              checks_used=1, initial_instructions=initial,
+                              final_instructions=initial)
+    sh = _Shrinker(check, target, max_checks)
+    sh.checks_used = 1  # the verification check above counts
+    applied: List[str] = []
+    changed = True
+    while changed and not sh.exhausted:
+        changed = False
+        for name, pass_fn in _PASSES:
+            if sh.exhausted:
+                break
+            smaller = pass_fn(ir, sh)
+            if smaller is not None:
+                ir = smaller
+                changed = True
+                if name not in applied:
+                    applied.append(name)
+    return MinimizeResult(ir=ir, reproduced=True, signature=target,
+                          checks_used=sh.checks_used,
+                          initial_instructions=initial,
+                          final_instructions=_static_len(ir),
+                          passes_applied=applied)
+
+
+__all__ = ["DEFAULT_MAX_CHECKS", "MinimizeResult", "minimize"]

@@ -150,7 +150,7 @@ def _run_task(task):
             _WORKER_RUNNER.traces_generated - retraces_before)
 
 
-def _worker_entry(conn, task, scale) -> None:
+def _worker_entry(conn, task, scale, task_fn=None) -> None:
     """Process target: run one task, ship ('ok', payload) or ('error', tb).
 
     The fault-injection hook fires before the simulation so an injected
@@ -158,13 +158,21 @@ def _worker_entry(conn, task, scale) -> None:
     sentinel), an injected ``raise`` travels back as a captured
     traceback, and an injected ``sleep`` wedges the task so the parent's
     timeout enforcement can be exercised.
+
+    ``task_fn`` overrides the default simulate-one-workload body with a
+    caller-supplied (picklable, module-level) function -- the fuzz
+    campaign rides the engine this way -- and must return the same
+    ``(workload, outcomes, retraces)`` payload shape.
     """
     try:
         injector = FaultInjector.from_env()
         if injector is not None:
             injector.on_task(task[0])
-        _init_worker(scale)
-        payload = _run_task(task)
+        if task_fn is not None:
+            payload = task_fn(task)
+        else:
+            _init_worker(scale)
+            payload = _run_task(task)
         conn.send(("ok", payload))
     except BaseException:
         try:
@@ -212,6 +220,7 @@ class ParallelEngine:
     policy: Optional[RetryPolicy] = None
     on_result: Optional[Callable] = None   # callable(point, result, secs)
     trace_paths: Optional[Dict[str, str]] = None  # workload -> packed blob
+    task_fn: Optional[Callable] = None     # custom task body (picklable)
     failures: List[FailedPoint] = field(default_factory=list)
     retried: int = 0
     timed_out: int = 0
@@ -295,9 +304,13 @@ class ParallelEngine:
             try:
                 if injector is not None:
                     injector.on_task(state.workload)
-                if _WORKER_RUNNER is None or _WORKER_RUNNER.scale != self.scale:
-                    _init_worker(self.scale)
-                _, outcomes, retraces = _run_task(state.task)
+                if self.task_fn is not None:
+                    _, outcomes, retraces = self.task_fn(state.task)
+                else:
+                    if (_WORKER_RUNNER is None
+                            or _WORKER_RUNNER.scale != self.scale):
+                        _init_worker(self.scale)
+                    _, outcomes, retraces = _run_task(state.task)
                 self.worker_retraces += retraces
                 publish(state, outcomes)
             except Exception:
@@ -318,7 +331,8 @@ class ParallelEngine:
         def launch(state: _TaskState) -> None:
             recv, send = multiprocessing.Pipe(duplex=False)
             proc = multiprocessing.Process(
-                target=_worker_entry, args=(send, state.task, self.scale),
+                target=_worker_entry,
+                args=(send, state.task, self.scale, self.task_fn),
                 daemon=True)
             try:
                 if injector is not None and injector.fail_spawn():

@@ -1,0 +1,126 @@
+"""Minimizer property tests: deterministic, divergence-preserving,
+never-growing, honest about non-reproduction.
+
+Most properties run against cheap synthetic check functions (structural
+predicates over the IR) so the suite stays fast; one end-to-end case
+drives the real oracle stack under an injected trace mutation and pins
+the acceptance bar: a minimized reproducer of at most 20 instructions
+that still shows the same divergence class.
+"""
+
+import pytest
+
+from repro.fuzz.generator import PROFILES, ProgramSpec, materialize
+from repro.fuzz.minimize import MinimizeResult, minimize
+from repro.fuzz.oracles import check_ir
+
+
+def _ir(profile="mixed", seed=11):
+    return ProgramSpec(profile=PROFILES[profile], seed=seed).generate()
+
+
+def _static_len(ir):
+    return len(materialize(ir).instructions)
+
+
+def _has_store(ops):
+    return any(op[0] == "store"
+               or (op[0] == "branch" and _has_store(op[4]))
+               for op in ops)
+
+
+def _store_check(ir):
+    """Synthetic divergence: "any store in the loop body"."""
+    return "has-store" if _has_store(ir["body"]) else None
+
+
+def test_non_reproducing_input_is_reported_not_shrunk():
+    ir = _ir()
+    result = minimize(ir, lambda candidate: None)
+    assert not result.reproduced
+    assert result.signature is None
+    assert result.ir == ir
+    assert result.checks_used == 1
+
+
+def test_minimization_is_deterministic():
+    ir = _ir(seed=5)
+    first = minimize(ir, _store_check)
+    second = minimize(ir, _store_check)
+    assert first.ir == second.ir
+    assert first.checks_used == second.checks_used
+    assert first.passes_applied == second.passes_applied
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_result_still_diverges_and_never_grows(seed):
+    ir = _ir(seed=seed)
+    before = _static_len(ir)
+    result = minimize(ir, _store_check)
+    assert result.reproduced
+    assert _store_check(result.ir) == result.signature
+    assert result.final_instructions <= before
+    assert result.final_instructions == _static_len(result.ir)
+
+
+def test_synthetic_minimality():
+    """Against the store predicate the minimizer should strip the body
+    to a single store and drop the helper functions entirely."""
+    result = minimize(_ir(seed=7), _store_check)
+    stores = [op for op in result.ir["body"] if op[0] == "store"]
+    assert len(result.ir["body"]) == 1 and len(stores) == 1
+    assert result.ir["funcs"] == []
+    assert result.ir["loop_iters"] == 1
+    assert result.ir["reg_init"] == []
+
+
+def test_check_budget_is_respected():
+    calls = []
+
+    def counting_check(ir):
+        calls.append(1)
+        return _store_check(ir)
+
+    result = minimize(_ir(seed=9), counting_check, max_checks=10)
+    assert result.reproduced
+    assert result.checks_used <= 10
+    assert len(calls) == result.checks_used
+
+
+def test_signature_changes_abort_the_shrink_step():
+    """A candidate whose divergence changes class must be rejected: the
+    minimized IR always reproduces the *original* signature."""
+    def flaky_check(ir):
+        if not _has_store(ir["body"]):
+            return None
+        return ("small" if len(ir["body"]) < 3 else "has-store")
+
+    result = minimize(_ir(seed=13), flaky_check)
+    assert result.reproduced
+    assert flaky_check(result.ir) == "has-store"
+    assert len(result.ir["body"]) >= 3
+
+
+def test_end_to_end_mutation_minimizes_under_20_instructions():
+    """Acceptance bar: an injected known-bad mutation is caught and
+    shrunk to a reproducer of at most 20 instructions that replays to
+    the same divergence class."""
+    ir = ProgramSpec(profile=PROFILES["silent-store"], seed=7).generate()
+
+    def check(candidate):
+        return check_ir(candidate,
+                        mutation="silent-store-value").coarse_signature
+
+    result = minimize(ir, check)
+    assert result.reproduced
+    assert result.final_instructions <= 20
+    assert result.final_instructions < result.initial_instructions
+    assert check(result.ir) == result.signature
+
+
+def test_to_dict_is_json_shaped():
+    result = minimize(_ir(seed=21), _store_check)
+    data = result.to_dict()
+    assert data["reproduced"] is True
+    assert data["final_instructions"] == result.final_instructions
+    assert isinstance(data["passes_applied"], list)

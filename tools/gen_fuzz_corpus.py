@@ -1,0 +1,107 @@
+"""Regenerate the distilled fuzz regression corpus (tests/corpus/).
+
+Each corpus entry is a *minimized* program that provably exercises one
+known-tricky memory-dependence pathology (silent store, BAB partial
+overlap, T-SSBF tag alias, store->load collision, pointer chase, stack
+frames) while staying clean under the full three-oracle stack on all
+four models.  The minimizer runs against a pathology-*presence*
+predicate -- not a divergence -- so each entry is the smallest program
+that still tickles its pattern; ``tests/test_fuzz_corpus.py`` replays
+every entry in tier-1 CI and re-asserts both properties.
+
+Usage: PYTHONPATH=src python tools/gen_fuzz_corpus.py [OUTDIR]
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.fuzz.artifacts import Artifact, write_artifact  # noqa: E402
+from repro.fuzz.generator import (PROFILES, ProgramSpec,  # noqa: E402
+                                  generator_version, materialize)
+from repro.fuzz.minimize import minimize  # noqa: E402
+from repro.fuzz.oracles import (check_ir, trace_pathology_stats,  # noqa: E402
+                                tssbf_alias_stats)
+from repro.kernel import FunctionalCpu  # noqa: E402
+
+DEFAULT_OUTDIR = os.path.join(os.path.dirname(__file__), "..", "tests",
+                              "corpus")
+
+# (profile, seed, pathology tag).  Seeds were picked so the base program
+# exhibits the pattern; the tag names the predicate in PREDICATES.
+ENTRIES = [
+    ("silent-store", 7, "silent-store"),
+    ("partial-overlap", 103, "partial-overlap"),
+    ("tag-alias", 101, "tag-alias"),
+    ("colliding", 100, "colliding"),
+    ("pointer-chase", 102, "pointer-chase"),
+    ("stack-heavy", 100, "stack-frames"),
+]
+
+
+def pathology_counts(ir):
+    """Predicate inputs for one IR: pathology stats of its trace."""
+    cpu = FunctionalCpu(materialize(ir))
+    entries = cpu.run_trace(max_instructions=200_000)
+    stats = trace_pathology_stats(entries)
+    stats["aliased_sets"] = tssbf_alias_stats(entries)["aliased_sets"]
+    stats["stack_stores"] = float(sum(
+        1 for e in entries if e.is_store and e.mem_addr is not None
+        and e.mem_addr >= 0x2000_0000))
+    return stats
+
+
+PREDICATES = {
+    "silent-store": lambda s: s["silent_store_fraction"] > 0.0,
+    "partial-overlap": lambda s: s["partial_overlap_fraction"] > 0.0,
+    "tag-alias": lambda s: s["aliased_sets"] >= 1.0,
+    "colliding": lambda s: s["colliding_load_fraction"] > 0.0,
+    "pointer-chase": lambda s: s["chased_pointer_stores"] >= 1.0,
+    "stack-frames": lambda s: s["stack_stores"] >= 1.0,
+}
+
+
+def distill(profile_name, seed, tag):
+    spec = ProgramSpec(profile=PROFILES[profile_name], seed=seed)
+    ir = spec.generate()
+    predicate = PREDICATES[tag]
+
+    def check(candidate):
+        try:
+            stats = pathology_counts(candidate)
+        except Exception:  # noqa: BLE001 -- broken candidates don't qualify
+            return None
+        return tag if predicate(stats) else None
+
+    assert check(ir) == tag, (
+        "%s seed %d does not exhibit %s; pick another seed"
+        % (profile_name, seed, tag))
+    result = minimize(ir, check)
+    assert result.reproduced and predicate(pathology_counts(result.ir))
+    report = check_ir(result.ir)
+    assert report.ok, (
+        "minimized %s corpus entry diverges (a real bug -- investigate "
+        "before regenerating the corpus): %r" % (tag, report.divergences))
+    info = result.to_dict()
+    info["pathology"] = tag
+    return Artifact(
+        kind="regression", profile=spec.profile, seed=seed,
+        generator_version=generator_version(), mutation=None,
+        ir=ir, minimized_ir=result.ir,
+        signature=tag, coarse_signature=tag,
+        divergences=[], minimize_info=info)
+
+
+def main(outdir=DEFAULT_OUTDIR):
+    os.makedirs(outdir, exist_ok=True)
+    for profile_name, seed, tag in ENTRIES:
+        artifact = distill(profile_name, seed, tag)
+        path = write_artifact(artifact, outdir)
+        size = len(materialize(artifact.minimized_ir).instructions)
+        print("%-16s %-24s %2d instrs  %s"
+              % (tag, artifact.program_id, size, path))
+
+
+if __name__ == "__main__":
+    main(*sys.argv[1:2])
