@@ -23,17 +23,24 @@ Commands
 ``experiment EXP_ID``
     Reproduce one paper figure/table (see ``list`` for ids).
 ``cache``
-    Inspect or clear the persistent result cache and its trace store;
-    ``gc`` sweeps ``*.tmp`` files orphaned by killed sessions.
+    Inspect or clear the persistent result cache, its trace store, and
+    the precompute-bundle store; ``gc`` sweeps ``*.tmp`` files orphaned
+    by killed sessions.
 ``bench-hotloop``
-    Measure simulator hot-loop throughput (cycles/sec per model) and write
-    ``BENCH_hotloop.json``; ``--check`` fails on regression vs. the
-    committed baseline.
+    Measure simulator hot-loop throughput (cycles/sec per model) plus
+    the batched multi-config leg (shared precompute bundle vs. fresh
+    per-config construction) and write ``BENCH_hotloop.json``;
+    ``--check`` fails on regression vs. the committed baseline, on a
+    batched leg slower than its floor, or on any batched-vs-unbatched
+    SimStats mismatch.
 ``bench-sweep``
-    Measure end-to-end sweep cost under four trace-store/result-cache
-    regimes plus worker peak RSS, and write ``BENCH_sweep.json``;
-    ``--check`` fails when the warm sweep misses its speedup floor or a
-    warm leg performs any functional re-trace (see DESIGN.md Section 12).
+    Measure end-to-end sweep cost under five trace-store/result-cache
+    regimes -- including the ``batched`` leg, which submits the whole
+    matrix through one per-trace-grouped ``run_batch`` -- plus worker
+    peak RSS, and write ``BENCH_sweep.json``; ``--check`` fails when the
+    warm or batched sweeps miss their speedup floors, a warm leg
+    performs any functional re-trace, or the batched leg resolves more
+    than one precompute per trace (see DESIGN.md Sections 12 and 14).
 ``fuzz run / repro / corpus / profiles``
     Differential fuzzing farm (see DESIGN.md Section 13): ``run``
     executes a seeded campaign of pathology-biased programs through the
@@ -47,8 +54,8 @@ Global flags: ``--jobs N`` fans simulation points out over N worker
 processes; ``--no-cache`` disables the persistent result cache (location:
 ``$REPRO_CACHE_DIR``, default ``.repro-cache``); ``--profile`` runs the
 command under cProfile and prints the top-25 cumulative report plus a
-phase split (functional tracing vs. timing simulation vs. trace-store
-I/O).
+phase split (functional tracing vs. whole-trace precompute vs. timing
+simulation vs. trace-store I/O).
 
 Fault tolerance (see DESIGN.md Section 11): ``--timeout S`` bounds each
 worker task's wall clock, ``--retries N`` / ``--backoff S`` control the
@@ -65,9 +72,9 @@ import argparse
 import sys
 from typing import List, Optional
 
-from .harness import (BatchFailure, ExperimentRunner, ResultCache,
-                      RetryPolicy, SimPoint, TraceStore, hotloop,
-                      make_point, sweepbench)
+from .harness import (BatchFailure, ExperimentRunner, PrecomputeStore,
+                      ResultCache, RetryPolicy, SimPoint, TraceStore,
+                      hotloop, make_point, sweepbench)
 from .harness.experiments import ALL_EXPERIMENTS
 from .harness.reporting import (format_failure_table, format_run_report,
                                 format_table)
@@ -215,10 +222,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="quarter-scale run for CI")
     sweep.add_argument("--check", action="store_true",
                        help="exit non-zero unless the warm sweep is >= %.1fx"
-                            " faster than legacy, both warm legs perform "
-                            "zero functional re-traces, and packed workers "
-                            "use less peak RSS"
-                            % sweepbench.MIN_WARM_SPEEDUP)
+                            " faster than legacy, the batched leg is >= "
+                            "%.1fx faster than the ungrouped warm-store leg"
+                            " with exactly one precompute per trace, the "
+                            "warm legs perform zero functional re-traces, "
+                            "and packed workers use less peak RSS"
+                            % (sweepbench.MIN_WARM_SPEEDUP,
+                               sweepbench.MIN_BATCHED_SPEEDUP))
+    sweep.add_argument("--repeats", type=int, default=3,
+                       help="best-of-N timing per leg (default: 3)")
     sweep.add_argument("--output", default="BENCH_sweep.json",
                        metavar="PATH", help="report path "
                                             "(default: BENCH_sweep.json)")
@@ -455,28 +467,37 @@ def cmd_trace_report(args, out) -> int:
 def cmd_cache(args, out) -> int:
     cache = ResultCache()
     store = TraceStore(root=cache.root / "traces")
+    precomputes = PrecomputeStore(root=cache.root / "traces")
     if args.action == "clear":
         removed = cache.clear()
         traces = store.clear()
-        print("removed %d cached result(s) and %d trace blob(s) from %s"
-              % (removed, traces, cache.root), file=out)
+        bundles = precomputes.clear()
+        print("removed %d cached result(s), %d trace blob(s), and %d "
+              "precompute blob(s) from %s"
+              % (removed, traces, bundles, cache.root), file=out)
         return 0
     if args.action == "gc":
+        # TraceStore.gc sweeps the whole shared traces/ tree, so orphaned
+        # precompute temp files are collected by the same pass.
         removed = cache.gc() + store.gc()
         print("swept %d orphaned temp file(s) from %s"
               % (removed, cache.root), file=out)
         return 0
-    print("cache dir      %s" % cache.root, file=out)
-    print("entries        %d" % cache.entry_count(), file=out)
-    print("size           %.1f KiB" % (cache.size_bytes() / 1024.0),
+    print("cache dir        %s" % cache.root, file=out)
+    print("entries          %d" % cache.entry_count(), file=out)
+    print("size             %.1f KiB" % (cache.size_bytes() / 1024.0),
           file=out)
-    print("trace blobs    %d" % store.entry_count(), file=out)
-    print("trace size     %.1f KiB" % (store.size_bytes() / 1024.0),
+    print("trace blobs      %d" % store.entry_count(), file=out)
+    print("trace size       %.1f KiB" % (store.size_bytes() / 1024.0),
           file=out)
-    print("orphaned tmp   %d" % (len(cache.tmp_files())
-                                 + len(store.tmp_files())), file=out)
-    print("code version   %s" % cache.version, file=out)
-    print("func version   %s" % store.version, file=out)
+    print("precompute blobs %d" % precomputes.entry_count(), file=out)
+    print("precompute size  %.1f KiB" % (precomputes.size_bytes() / 1024.0),
+          file=out)
+    print("orphaned tmp     %d" % (len(cache.tmp_files())
+                                   + len(store.tmp_files())), file=out)
+    print("code version     %s" % cache.version, file=out)
+    print("func version     %s" % store.version, file=out)
+    print("precompute ver   %s" % precomputes.version, file=out)
     return 0
 
 
@@ -499,8 +520,21 @@ def cmd_bench_hotloop(args, out) -> int:
               % (name, entry["cycles_per_sec"],
                  "  (%.2fx vs before)" % speedup if speedup else ""),
               file=out)
+    batched = payload.get("batched")
+    if batched:
+        print("  batched  %10.2fx vs per-config precompute  (stats %s)"
+              % (batched["speedup"],
+                 "identical" if batched["stats_identical"] else "DIVERGED"),
+              file=out)
     check = payload["check"]
     if check.get("enabled") and not check.get("passed", True):
+        details = check.get("details") or {}
+        batched_detail = details.get("batched") or {}
+        if batched_detail and not batched_detail.get("ok", True):
+            print("REGRESSION: batched sweep leg below %.2fx of the "
+                  "per-config baseline (measured %.2fx) or stats diverged"
+                  % (batched_detail.get("min_speedup", 0.0),
+                     batched_detail.get("speedup", 0.0)), file=out)
         print("REGRESSION: hot-loop throughput below %.0f%% of the "
               "committed baseline" % (100 * check["threshold"]), file=out)
         return 1
@@ -509,7 +543,7 @@ def cmd_bench_hotloop(args, out) -> int:
 
 def cmd_bench_sweep(args, out) -> int:
     payload = sweepbench.run_benchmark(
-        smoke=args.smoke, scale=args.scale,
+        smoke=args.smoke, scale=args.scale, repeats=args.repeats,
         progress=lambda line: print(line, file=out))
     sweepbench.attach_check(payload, check=args.check)
     path = hotloop.write_report(payload, args.output)
@@ -651,19 +685,30 @@ def _phase_attribution(stats) -> List:
     """Split a profile's wall time into the pipeline's coarse phases.
 
     Attributes the cumulative time of each phase's entry point --
-    functional tracing (``FunctionalCpu.run``), timing simulation
+    functional tracing (``FunctionalCpu.run``), whole-trace precompute
+    (the vectorized bundle build/load in ``kernel/precompute.py`` and
+    the per-run passes inside ``Simulator.__init__``), timing simulation
     (``Simulator.run``), and trace-store I/O (``load_trace`` /
     ``PackedTrace.to_bytes``).  The phases never nest (a trace is fully
-    built or loaded before its simulation starts), so the split is exact
+    built or loaded before its simulation starts, and every precompute
+    entry point runs outside ``Simulator.run``), so the split is exact
     up to harness overhead, reported as "other".
     """
-    phases = {"functional tracing": 0.0, "timing simulation": 0.0,
-              "trace store I/O": 0.0}
+    phases = {"functional tracing": 0.0, "precompute": 0.0,
+              "timing simulation": 0.0, "trace store I/O": 0.0}
     for (filename, _line, funcname), entry in stats.stats.items():
         cumulative = entry[3]
         path = filename.replace("\\", "/")
         if path.endswith("kernel/cpu.py") and funcname == "run":
             phases["functional tracing"] += cumulative
+        elif (path.endswith("kernel/precompute.py")
+                and funcname in ("build", "load_precompute")):
+            phases["precompute"] += cumulative
+        elif (path.endswith("uarch/pipeline.py")
+                and funcname in ("_init_from_columns",
+                                 "_precompute_branch_outcomes",
+                                 "_precompute_history")):
+            phases["precompute"] += cumulative
         elif path.endswith("uarch/pipeline.py") and funcname == "run":
             phases["timing simulation"] += cumulative
         elif (path.endswith("kernel/tracestore.py")

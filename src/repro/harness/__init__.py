@@ -1,7 +1,9 @@
 """Experiment harness: runner, cache, parallel engine, reproductions."""
 
-from .cache import (NullCache, NullTraceStore, ResultCache, TraceStore,
-                    code_version, default_cache_dir, functional_version)
+from .cache import (NullCache, NullPrecomputeStore, NullTraceStore,
+                    PrecomputeStore, ResultCache, TraceStore, code_version,
+                    default_cache_dir, functional_version,
+                    precompute_version)
 from .resilience import (BatchFailure, FailedPoint, FaultInjector,
                          RetryPolicy, parse_fault_spec)
 from .parallel import (BatchTiming, ParallelEngine, PointTiming, SimPoint,
@@ -15,8 +17,10 @@ from . import hotloop, paper_data, sweepbench
 
 __all__ = [
     "ExperimentRunner", "SimResult", "shared_runner",
-    "NullCache", "NullTraceStore", "ResultCache", "TraceStore",
+    "NullCache", "NullPrecomputeStore", "NullTraceStore",
+    "PrecomputeStore", "ResultCache", "TraceStore",
     "code_version", "default_cache_dir", "functional_version",
+    "precompute_version",
     "BatchFailure", "FailedPoint", "FaultInjector", "RetryPolicy",
     "parse_fault_spec",
     "BatchTiming", "ParallelEngine", "PointTiming", "SimPoint", "make_point",

@@ -30,6 +30,7 @@ import time
 from pathlib import Path
 from typing import Optional
 
+from ..kernel import precompute as precompute_mod
 from ..kernel import tracestore
 
 # Bump when the pickled payload layout changes incompatibly.
@@ -42,8 +43,13 @@ _VERSIONED_PACKAGES = ("isa", "kernel", "uarch", "workloads", "energy")
 # a uarch-only edit keeps every packed trace valid.
 _FUNCTIONAL_PACKAGES = ("isa", "kernel", "workloads")
 
+# The files whose content determines a precompute bundle (given a valid
+# trace): the bundle builder itself and the branch predictor it replays.
+_PRECOMPUTE_FILES = ("kernel/precompute.py", "uarch/branch.py")
+
 _CODE_VERSION: Optional[str] = None
 _FUNCTIONAL_VERSION: Optional[str] = None
+_PRECOMPUTE_VERSION: Optional[str] = None
 
 
 def _hash_packages(packages) -> str:
@@ -53,6 +59,16 @@ def _hash_packages(packages) -> str:
         for path in sorted((package_root / package).glob("*.py")):
             digest.update(path.name.encode())
             digest.update(path.read_bytes())
+    return digest.hexdigest()[:16]
+
+
+def _hash_files(relative_paths) -> str:
+    digest = hashlib.sha256()
+    package_root = Path(__file__).resolve().parent.parent
+    for rel in relative_paths:
+        path = package_root / rel
+        digest.update(rel.encode())
+        digest.update(path.read_bytes())
     return digest.hexdigest()[:16]
 
 
@@ -70,6 +86,14 @@ def functional_version() -> str:
     if _FUNCTIONAL_VERSION is None:
         _FUNCTIONAL_VERSION = _hash_packages(_FUNCTIONAL_PACKAGES)
     return _FUNCTIONAL_VERSION
+
+
+def precompute_version() -> str:
+    """Hash of the sources that can change a precompute bundle's tables."""
+    global _PRECOMPUTE_VERSION
+    if _PRECOMPUTE_VERSION is None:
+        _PRECOMPUTE_VERSION = _hash_files(_PRECOMPUTE_FILES)
+    return _PRECOMPUTE_VERSION
 
 
 def canonical(value):
@@ -331,6 +355,147 @@ class TraceStore:
                 pass
         self.gc()
         return removed
+
+
+class PrecomputeStore:
+    """Persistent store of whole-trace precompute bundles (DESIGN.md §14).
+
+    One ``.pre`` blob per (workload, iterations, predictor signature,
+    functional/trace-format/precompute versions) living in the *same*
+    ``traces/`` tree as the ``.trc`` blobs it annotates, so cache info,
+    gc, and clear naturally manage them together.  The key folds
+    everything that can change the tables: the trace identity material
+    (a bundle is meaningless without its trace) plus
+    ``PRECOMPUTE_FORMAT_VERSION`` and a hash of the precompute/branch
+    sources, so editing the predictor silently invalidates stale
+    bundles.  Blobs are CRC'd, written atomically, loaded read-only via
+    ``mmap``, and any unreadable/mismatched blob is a clean miss.
+    """
+
+    suffix = ".pre"
+
+    def __init__(self, root: Optional[Path] = None,
+                 version: Optional[str] = None):
+        if root is not None:
+            self.root = Path(root)
+        else:
+            self.root = default_cache_dir() / "traces"
+        self.functional = (version if version is not None
+                           else functional_version())
+        self.version = precompute_version()
+        self.hits = 0
+        self.misses = 0
+
+    # -- keys --------------------------------------------------------------
+
+    def key_for(self, workload: str, iterations: int, signature) -> str:
+        material = json.dumps({
+            "trace_format": tracestore.TRACE_FORMAT_VERSION,
+            "precompute_format": precompute_mod.PRECOMPUTE_FORMAT_VERSION,
+            "functional": self.functional,
+            "precompute": self.version,
+            "workload": workload,
+            "iterations": iterations,
+            "signature": list(signature),
+        }, sort_keys=True)
+        return hashlib.sha256(material.encode()).hexdigest()
+
+    def path_for(self, workload: str, iterations: int, signature) -> Path:
+        key = self.key_for(workload, iterations, signature)
+        return self.root / key[:2] / (key + self.suffix)
+
+    # -- storage ------------------------------------------------------------
+
+    def load(self, workload: str, iterations: int, trace, signature):
+        """The bundle for a (point, trace) pair, or None -- never raises."""
+        path = self.path_for(workload, iterations, signature)
+        try:
+            bundle = precompute_mod.load_precompute(path, trace, signature)
+        except Exception:
+            # Missing, truncated, garbage, format-bumped, or built for a
+            # different trace: a clean miss; the next put repairs it.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return bundle
+
+    def put(self, workload: str, iterations: int, bundle) -> Optional[Path]:
+        """Atomically persist a bundle; returns its path."""
+        path = self.path_for(workload, iterations, bundle.signature)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(bundle.to_bytes())
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    # -- maintenance ---------------------------------------------------------
+    # Temp files in the shared traces/ tree are swept by TraceStore.gc
+    # (one sweep covers both blob kinds), so there is no gc() here.
+
+    def entries(self):
+        return sorted(self.root.glob("??/*" + self.suffix))
+
+    def entry_count(self) -> int:
+        return len(self.entries())
+
+    def size_bytes(self) -> int:
+        total = 0
+        for path in self.entries():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass
+        return total
+
+    def clear(self) -> int:
+        removed = 0
+        for path in self.entries():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+
+class NullPrecomputeStore:
+    """Precompute-store stand-in that persists nothing (``--no-cache``)."""
+
+    root = None
+    hits = 0
+    misses = 0
+
+    def key_for(self, workload, iterations, signature) -> str:
+        return ""
+
+    def path_for(self, workload, iterations, signature):
+        return None
+
+    def load(self, workload, iterations, trace, signature):
+        return None
+
+    def put(self, workload, iterations, bundle):
+        return None
+
+    def entries(self):
+        return []
+
+    def entry_count(self) -> int:
+        return 0
+
+    def size_bytes(self) -> int:
+        return 0
+
+    def clear(self) -> int:
+        return 0
 
 
 class NullTraceStore:

@@ -7,6 +7,11 @@ performance work on the pipeline is a tracked artifact, not a claim:
 
 * :func:`run_benchmark` times a fixed workload set under every model and
   returns a JSON-ready payload (``BENCH_hotloop.json``);
+* :func:`measure_batched` times the multi-config ``batched`` leg: every
+  model/config pair simulated against one shared
+  :class:`~repro.kernel.precompute.TracePrecompute` bundle (bundle build
+  included) vs. fresh per-config Simulator construction, with SimStats
+  asserted byte-identical between the two;
 * :func:`calibrate` times a deterministic pure-Python kernel whose speed
   scales with the host interpreter, so throughput numbers recorded on one
   machine can be compared on another (CI runners vs. the machine that
@@ -46,6 +51,16 @@ SMOKE_SCALE = 0.25
 # A smoke run fails CI when it is slower than this fraction of the
 # calibration-normalised committed reference.
 REGRESSION_THRESHOLD = 0.7
+
+# The batched leg must beat fresh per-config construction by at least
+# this much on whole-run wall time.  The bench excludes harness/store
+# amortisation (program build, trace load) on purpose -- it isolates the
+# Simulator-level win, so the floor is modest; the sweep benchmark's
+# MIN_BATCHED_SPEEDUP gates the full per-trace-grouped scheduling win.
+MIN_BATCHED_SPEEDUP = 1.05
+
+# Model/config cross-product simulated back-to-back by the batched leg.
+BATCH_CONFIGS: tuple = ({}, {"store_buffer_entries": 8})
 
 DEFAULT_BASELINE_PATH = (Path(__file__).resolve().parents[3] / "benchmarks"
                          / "results" / "BENCH_hotloop_baseline.json")
@@ -137,6 +152,87 @@ def measure(workloads: Iterable[str] = BENCH_WORKLOADS,
     return out
 
 
+def measure_batched(workloads: Iterable[str] = BENCH_WORKLOADS,
+                    scale: Optional[float] = None, repeats: int = 1,
+                    progress=None) -> Dict[str, object]:
+    """Time the model/config cross-product per trace, batched vs. not.
+
+    The *unbatched* leg constructs a fresh ``Simulator`` for every
+    (model, config) pair -- each one re-deriving branch outcomes,
+    history, decode templates, and the memory image from the packed
+    trace.  The *batched* leg analyses the trace once into a
+    :class:`~repro.kernel.precompute.TracePrecompute` bundle (build time
+    charged to the leg) and shares it across all pairs, the way
+    ``run_batch`` schedules a sweep.  SimStats must be byte-identical
+    between legs; ``stats_identical`` records the comparison.
+    """
+    from ..kernel.tracestore import run_trace_packed
+    from ..kernel.precompute import TracePrecompute, bpred_signature
+
+    models = list(ModelKind)
+    out: Dict[str, object] = {"workloads": {}, "configs_per_trace":
+                              len(models) * len(BATCH_CONFIGS)}
+    total_unbatched = 0.0
+    total_batched = 0.0
+    identical = True
+    for name in workloads:
+        program = get_workload(name).build(_iterations(name, scale))
+        packed = run_trace_packed(program)
+        matrix = [(model, overrides) for model in models
+                  for overrides in BATCH_CONFIGS]
+
+        best_unbatched = float("inf")
+        unbatched_stats = None
+        for _ in range(max(1, repeats)):
+            start = time.perf_counter()
+            stats = [Simulator(program, packed,
+                               model_params(model, **overrides)).run()
+                     for model, overrides in matrix]
+            elapsed = time.perf_counter() - start
+            if elapsed < best_unbatched:
+                best_unbatched = elapsed
+                unbatched_stats = stats
+
+        best_batched = float("inf")
+        batched_stats = None
+        for _ in range(max(1, repeats)):
+            start = time.perf_counter()
+            pre = TracePrecompute.build(
+                packed, bpred_signature(model_params(models[0])))
+            cached = pre.cached_trace()
+            stats = [Simulator(program, cached,
+                               model_params(model, **overrides),
+                               precompute=pre).run()
+                     for model, overrides in matrix]
+            elapsed = time.perf_counter() - start
+            if elapsed < best_batched:
+                best_batched = elapsed
+                batched_stats = stats
+
+        same = all(a.to_dict() == b.to_dict()
+                   for a, b in zip(unbatched_stats, batched_stats))
+        identical = identical and same
+        speedup = best_unbatched / best_batched if best_batched else 0.0
+        out["workloads"][name] = {
+            "unbatched_seconds": round(best_unbatched, 6),
+            "batched_seconds": round(best_batched, 6),
+            "speedup": round(speedup, 3),
+            "stats_identical": same,
+        }
+        total_unbatched += best_unbatched
+        total_batched += best_batched
+        if progress is not None:
+            progress("  %-8s batched  %.3fs vs %.3fs  (%.2fx)%s"
+                     % (name, best_batched, best_unbatched, speedup,
+                        "" if same else "  STATS MISMATCH"))
+    out["unbatched_seconds"] = round(total_unbatched, 6)
+    out["batched_seconds"] = round(total_batched, 6)
+    out["speedup"] = round(total_unbatched / total_batched, 3) \
+        if total_batched else 0.0
+    out["stats_identical"] = identical
+    return out
+
+
 def run_benchmark(smoke: bool = False, repeats: int = 1,
                   progress=None) -> Dict[str, object]:
     """Measure the standard configuration and return the report payload."""
@@ -148,6 +244,8 @@ def run_benchmark(smoke: bool = False, repeats: int = 1,
         "scale": scale,
         "calibration_seconds": round(calibrate(), 6),
         "models": measure(scale=scale, repeats=repeats, progress=progress),
+        "batched": measure_batched(scale=scale, repeats=repeats,
+                                   progress=progress),
     }
 
 
@@ -218,15 +316,33 @@ def attach_baseline(payload: dict, baseline: Optional[dict],
         payload["check"] = {"enabled": False}
         return payload
 
+    details = {}
+    passed = True
+
+    # Batched-leg gates are self-relative (both legs ran on this host),
+    # so they apply even without a committed baseline: the shared-bundle
+    # path must beat fresh per-config construction and must not change a
+    # single statistic.
+    batched = payload.get("batched")
+    if batched is not None:
+        batched_ok = batched["speedup"] >= MIN_BATCHED_SPEEDUP
+        identical = bool(batched["stats_identical"])
+        passed = passed and batched_ok and identical
+        details["batched"] = {
+            "speedup": batched["speedup"],
+            "min_speedup": MIN_BATCHED_SPEEDUP,
+            "stats_identical": identical,
+            "ok": batched_ok and identical,
+        }
+
     reference = mode.get("after") or before
     if not reference:
-        payload["check"] = {"enabled": True, "passed": True,
+        payload["check"] = {"enabled": True, "passed": passed,
+                            "details": details,
                             "reason": "no committed baseline for mode %r"
                                       % payload["mode"]}
         return payload
     norm = reference["calibration_seconds"] / payload["calibration_seconds"]
-    details = {}
-    passed = True
     for name, entry in payload["models"].items():
         expected = reference["cycles_per_sec"].get(name)
         if expected is None:

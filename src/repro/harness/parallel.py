@@ -98,11 +98,25 @@ class BatchTiming:
     timed_out: int = 0               # task timeouts (terminated workers)
     traces_generated: int = 0        # functional traces run in the parent
     worker_retraces: int = 0         # functional traces re-run in workers
+    precomputes_built: int = 0       # trace bundles analysed in the parent
+    precomputes_loaded: int = 0      # trace bundles mapped from the store
+    worker_precomputes_built: int = 0    # bundles workers rebuilt locally
+    worker_precomputes_loaded: int = 0   # bundles workers mapped
 
     @property
     def functional_traces(self) -> int:
         """Total functional CPU executions this batch caused."""
         return self.traces_generated + self.worker_retraces
+
+    @property
+    def precomputes(self) -> int:
+        """Total whole-trace precomputes this batch resolved, anywhere.
+
+        A warm-store sweep over N distinct traces should show exactly N
+        (all loads, zero builds) -- asserted in tests."""
+        return (self.precomputes_built + self.precomputes_loaded
+                + self.worker_precomputes_built
+                + self.worker_precomputes_loaded)
 
     @property
     def speedup(self) -> float:
@@ -131,15 +145,36 @@ def _run_task(task):
     When the parent supplied a packed-trace path, adopt that blob (an
     ``mmap`` of the store's copy) before simulating; if it fails to
     decode -- deleted, truncated, format-bumped under us -- fall back to
-    re-tracing rather than failing the task.  The third element of the
-    return value counts functional traces this task had to run itself,
-    so the parent can account for (and the sweep benchmark can assert
-    the absence of) worker re-traces.
+    re-tracing rather than failing the task.  The blob slot may also be
+    a ``(trace_path, precompute_path)`` pair: the precompute bundle is
+    then mapped the same way, so all of this task's configurations share
+    one whole-trace analysis; a bundle that fails to decode (or was
+    never shipped, with more than one config to amortise it over) is
+    rebuilt locally.  The third element of the return value counts
+    functional traces this task had to run itself, so the parent can
+    account for (and the sweep benchmark can assert the absence of)
+    worker re-traces; the fourth counts precompute bundles the worker
+    (built, loaded) itself.
     """
-    workload, trace_path, configs = task
+    workload, blob, configs = task
+    trace_path = pre_path = None
+    if isinstance(blob, tuple):
+        trace_path, pre_path = blob
+    else:
+        trace_path = blob
     retraces_before = _WORKER_RUNNER.traces_generated
+    built_before = _WORKER_RUNNER.precomputes_built
+    loaded_before = _WORKER_RUNNER.precomputes_loaded
     if trace_path is not None:
         _WORKER_RUNNER.attach_trace(workload, trace_path)
+        attached = False
+        if pre_path is not None:
+            attached = _WORKER_RUNNER.attach_precompute(workload, pre_path)
+        if not attached and len(configs) > 1:
+            try:
+                _WORKER_RUNNER.precompute_for(workload)
+            except Exception:
+                pass    # the per-run path still works without a bundle
     out = []
     for model, overrides in configs:
         start = time.perf_counter()
@@ -147,7 +182,9 @@ def _run_task(task):
         out.append((model, overrides, result,
                     time.perf_counter() - start))
     return (workload, out,
-            _WORKER_RUNNER.traces_generated - retraces_before)
+            _WORKER_RUNNER.traces_generated - retraces_before,
+            (_WORKER_RUNNER.precomputes_built - built_before,
+             _WORKER_RUNNER.precomputes_loaded - loaded_before))
 
 
 def _worker_entry(conn, task, scale, task_fn=None) -> None:
@@ -162,7 +199,9 @@ def _worker_entry(conn, task, scale, task_fn=None) -> None:
     ``task_fn`` overrides the default simulate-one-workload body with a
     caller-supplied (picklable, module-level) function -- the fuzz
     campaign rides the engine this way -- and must return the same
-    ``(workload, outcomes, retraces)`` payload shape.
+    ``(workload, outcomes, retraces)`` payload shape (the default body
+    appends a fourth ``(precomputes_built, precomputes_loaded)`` element,
+    which custom bodies may omit).
     """
     try:
         injector = FaultInjector.from_env()
@@ -189,7 +228,7 @@ def _worker_entry(conn, task, scale, task_fn=None) -> None:
 class _TaskState:
     """Supervision record for one in-flight or pending task."""
 
-    task: tuple          # (workload, trace_path, [(model, overrides), ...])
+    task: tuple    # (workload, blob path(s), [(model, overrides), ...])
     failures: int = 0                # attempts that have failed so far
     proc: object = None
     conn: object = None
@@ -219,12 +258,15 @@ class ParallelEngine:
     progress: object = None          # optional callable(str)
     policy: Optional[RetryPolicy] = None
     on_result: Optional[Callable] = None   # callable(point, result, secs)
-    trace_paths: Optional[Dict[str, str]] = None  # workload -> packed blob
+    # workload -> packed blob path, or (trace path, precompute path) pair
+    trace_paths: Optional[Dict[str, object]] = None
     task_fn: Optional[Callable] = None     # custom task body (picklable)
     failures: List[FailedPoint] = field(default_factory=list)
     retried: int = 0
     timed_out: int = 0
     worker_retraces: int = 0         # functional traces workers re-ran
+    worker_precomputes_built: int = 0    # bundles workers rebuilt locally
+    worker_precomputes_loaded: int = 0   # bundles workers mapped
     degraded: bool = False
 
     def _say(self, message: str) -> None:
@@ -242,6 +284,8 @@ class ParallelEngine:
         self.retried = 0
         self.timed_out = 0
         self.worker_retraces = 0
+        self.worker_precomputes_built = 0
+        self.worker_precomputes_loaded = 0
         self.degraded = False
         if not points:
             return {}
@@ -261,6 +305,19 @@ class ParallelEngine:
         pending = deque(_TaskState(task=task) for task in tasks)
         waiting: List[_TaskState] = []         # backing off before retry
         running: List[_TaskState] = []
+
+        def absorb(payload) -> None:
+            """Fold a task payload's counters into the engine totals.
+
+            Payloads are ``(workload, outcomes, retraces)`` -- custom
+            ``task_fn`` bodies -- or the default body's 4-tuple with a
+            trailing ``(precomputes_built, precomputes_loaded)`` pair.
+            """
+            self.worker_retraces += payload[2]
+            if len(payload) > 3:
+                built, loaded = payload[3]
+                self.worker_precomputes_built += built
+                self.worker_precomputes_loaded += loaded
 
         def publish(state: _TaskState, outcomes) -> None:
             workload = state.workload
@@ -305,14 +362,14 @@ class ParallelEngine:
                 if injector is not None:
                     injector.on_task(state.workload)
                 if self.task_fn is not None:
-                    _, outcomes, retraces = self.task_fn(state.task)
+                    payload = self.task_fn(state.task)
                 else:
                     if (_WORKER_RUNNER is None
                             or _WORKER_RUNNER.scale != self.scale):
                         _init_worker(self.scale)
-                    _, outcomes, retraces = _run_task(state.task)
-                self.worker_retraces += retraces
-                publish(state, outcomes)
+                    payload = _run_task(state.task)
+                absorb(payload)
+                publish(state, payload[1])
             except Exception:
                 fail(state, "error", traceback.format_exc())
 
@@ -405,7 +462,7 @@ class ParallelEngine:
                     state.proc.join()
                     state.proc = state.conn = None
                     if status == "ok":
-                        self.worker_retraces += payload[2]
+                        absorb(payload)
                         publish(state, payload[1])
                     else:
                         fail(state, "error", payload)

@@ -30,11 +30,14 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..energy import EnergyReport, energy_report
 from ..isa import Program
+from ..kernel.precompute import (TracePrecompute, bpred_signature,
+                                 load_precompute)
 from ..kernel.tracestore import (PackedTrace, load_trace, run_trace_packed)
 from ..uarch import CoreParams, ModelKind, SimStats, model_params
 from ..uarch.pipeline import Simulator
 from ..workloads import ALL_NAMES, get_workload
-from .cache import NullCache, NullTraceStore, ResultCache, TraceStore
+from .cache import (NullCache, NullPrecomputeStore, NullTraceStore,
+                    PrecomputeStore, ResultCache, TraceStore)
 from .parallel import (BatchTiming, ParallelEngine, PointTiming, SimPoint,
                        make_point)
 from .resilience import BatchFailure, FailedPoint, RetryPolicy
@@ -71,7 +74,7 @@ class ExperimentRunner:
                  progress=None, collect_metrics: bool = False,
                  policy: Optional[RetryPolicy] = None,
                  keep_going: bool = False,
-                 trace_store=None):
+                 trace_store=None, precompute_store=None):
         """``scale`` multiplies every workload's default iteration count
         (e.g. 0.1 for quick tests); None keeps per-workload defaults.
         ``jobs`` is the worker-process count for batch submissions (1 =
@@ -108,9 +111,19 @@ class ExperimentRunner:
             self.trace_store = TraceStore(root=self.cache.root / "traces")
         else:
             self.trace_store = NullTraceStore()
+        if precompute_store is not None:
+            self.precompute_store = precompute_store
+        elif getattr(self.trace_store, "root", None) is not None:
+            # Precompute bundles live beside the trace blobs they annotate.
+            self.precompute_store = PrecomputeStore(
+                root=self.trace_store.root)
+        else:
+            self.precompute_store = NullPrecomputeStore()
         self.progress = progress
         self._programs: Dict[str, Program] = {}
         self._traces: Dict[str, PackedTrace] = {}
+        self._precomputes: Dict[str, TracePrecompute] = {}
+        self._bpred_sig: Optional[Tuple[int, int, int]] = None
         self._results: Dict[Tuple, SimResult] = {}
         self.point_log: List[PointTiming] = []
         self.batch_log: List[BatchTiming] = []
@@ -119,6 +132,13 @@ class ExperimentRunner:
         self.traces_generated = 0    # functional CPU runs in this process
         self.traces_loaded = 0       # packed traces mapped from the store
         self.worker_retraces = 0     # functional CPU runs inside workers
+        # Precompute-bundle accounting (DESIGN.md section 14): "exactly
+        # one precompute per distinct trace" is built + loaded == number
+        # of distinct traces swept, asserted in tests via BatchTiming.
+        self.precomputes_built = 0   # bundles analysed in this process
+        self.precomputes_loaded = 0  # bundles mapped from the store
+        self.worker_precomputes_built = 0
+        self.worker_precomputes_loaded = 0
 
     # -- workload plumbing ---------------------------------------------------
 
@@ -188,6 +208,66 @@ class ExperimentRunner:
         """Functional CPU executions this runner caused, anywhere."""
         return self.traces_generated + self.worker_retraces
 
+    # -- precompute plumbing -------------------------------------------------
+
+    def _bpred_signature(self):
+        """The default predictor geometry bundles are keyed by.  A point
+        that overrides any of it fails ``TracePrecompute.matches`` inside
+        the Simulator and transparently takes the per-run path."""
+        if self._bpred_sig is None:
+            self._bpred_sig = bpred_signature(
+                model_params(ModelKind.BASELINE))
+        return self._bpred_sig
+
+    def precompute_for(self, workload: str) -> TracePrecompute:
+        """The shared whole-trace bundle: memo -> store -> build (+ put).
+
+        Batch submissions resolve this once per distinct trace and every
+        config simulated against that trace shares the result; the
+        built/loaded counters back the sweep benchmark's
+        "exactly one precompute per trace" gate.
+        """
+        bundle = self._precomputes.get(workload)
+        if bundle is None:
+            trace = self.trace(workload)
+            signature = self._bpred_signature()
+            bundle = self.precompute_store.load(
+                workload, self.iterations(workload), trace, signature)
+            if bundle is not None:
+                self.precomputes_loaded += 1
+            else:
+                bundle = TracePrecompute.build(trace, signature)
+                self.precomputes_built += 1
+                self.precompute_store.put(
+                    workload, self.iterations(workload), bundle)
+            self._precomputes[workload] = bundle
+        return bundle
+
+    def ensure_precompute(self, workload: str) -> Optional[str]:
+        """Make sure the store holds this workload's bundle; returns its
+        path (None without a persistent store), for worker fan-out."""
+        self.precompute_for(workload)
+        path = self.precompute_store.path_for(
+            workload, self.iterations(workload), self._bpred_signature())
+        if path is None:
+            return None
+        return str(path)
+
+    def attach_precompute(self, workload: str, path: str) -> bool:
+        """Adopt a precompute blob produced by another process.
+
+        Returns True when the blob decoded against this runner's trace;
+        any failure leaves the memo empty so :meth:`precompute_for`
+        falls back to rebuilding (a stale blob never kills a worker)."""
+        try:
+            bundle = load_precompute(path, self.trace(workload),
+                                     self._bpred_signature())
+        except Exception:
+            return False
+        self._precomputes[workload] = bundle
+        self.precomputes_loaded += 1
+        return True
+
     # -- cache plumbing ------------------------------------------------------
 
     def _memo_key(self, workload: str, model: ModelKind,
@@ -215,8 +295,15 @@ class ExperimentRunner:
         if self.collect_metrics:
             from ..obs import MetricsTracer  # deferred: keeps import light
             tracer = MetricsTracer()
-        stats = Simulator(self.program(workload), self.trace(workload),
-                          params, tracer=tracer).run()
+        # Batch submissions resolve a shared precompute bundle per trace
+        # (see run_batch); single-point run() stays on the per-run path.
+        pre = self._precomputes.get(workload)
+        if pre is not None:
+            stats = Simulator(self.program(workload), pre.cached_trace(),
+                              params, tracer=tracer, precompute=pre).run()
+        else:
+            stats = Simulator(self.program(workload), self.trace(workload),
+                              params, tracer=tracer).run()
         if tracer is not None:
             self.metrics_log[self._memo_key(workload, model,
                                             overrides)] = tracer.report()
@@ -344,6 +431,8 @@ class ExperimentRunner:
         """
         batch_start = time.perf_counter()
         traces_before = self.traces_generated
+        pre_built_before = self.precomputes_built
+        pre_loaded_before = self.precomputes_loaded
         timing = BatchTiming(jobs=self.jobs)
         out: Dict[SimPoint, SimResult] = {}
         misses: List[SimPoint] = []
@@ -388,13 +477,16 @@ class ExperimentRunner:
             # Metrics collection happens in _simulate, so fall back to
             # in-process simulation instead of the worker fan-out.
             if self.jobs > 1 and len(misses) > 1 and not self.collect_metrics:
-                # Trace every miss workload once *here*, so workers map the
-                # persisted blob instead of re-running the functional CPU.
-                trace_paths: Dict[str, str] = {}
+                # Trace + precompute every miss workload once *here*, so
+                # workers map the persisted blobs instead of re-running
+                # the functional CPU or re-analysing the trace.
+                trace_paths: Dict[str, object] = {}
                 for workload in sorted({p.workload for p in misses}):
                     path = self.ensure_trace(workload)
                     if path is not None:
-                        trace_paths[workload] = path
+                        pre_path = self.ensure_precompute(workload)
+                        trace_paths[workload] = ((path, pre_path)
+                                                 if pre_path else path)
                 engine = ParallelEngine(jobs=self.jobs, scale=self.scale,
                                         progress=self.progress,
                                         policy=self.policy,
@@ -406,6 +498,14 @@ class ExperimentRunner:
                 timing.timed_out += engine.timed_out
                 timing.worker_retraces += engine.worker_retraces
                 self.worker_retraces += engine.worker_retraces
+                timing.worker_precomputes_built += \
+                    engine.worker_precomputes_built
+                timing.worker_precomputes_loaded += \
+                    engine.worker_precomputes_loaded
+                self.worker_precomputes_built += \
+                    engine.worker_precomputes_built
+                self.worker_precomputes_loaded += \
+                    engine.worker_precomputes_loaded
                 # Defensive: a point the engine neither resolved nor
                 # recorded as failed is reported, never KeyError'd.
                 accounted = set(resolved)
@@ -417,6 +517,17 @@ class ExperimentRunner:
                             detail="engine returned neither a result nor "
                                    "a failure record", attempts=0))
             else:
+                # Group the config cross-product by trace: resolve one
+                # shared precompute bundle per distinct workload, then run
+                # all of a trace's configs back-to-back against it (the
+                # stable sort preserves submission order within a trace).
+                if not self.collect_metrics:
+                    for workload in sorted({p.workload for p in misses}):
+                        try:
+                            self.precompute_for(workload)
+                        except Exception:
+                            pass    # per-run path still works without it
+                    misses.sort(key=lambda p: p.workload)
                 for point in misses:
                     failure = self._simulate_with_retry(point, publish)
                     if failure is not None:
@@ -433,6 +544,9 @@ class ExperimentRunner:
             failures.extend(fresh_failures)
         timing.failed = len(failures)
         timing.traces_generated = self.traces_generated - traces_before
+        timing.precomputes_built = self.precomputes_built - pre_built_before
+        timing.precomputes_loaded = (self.precomputes_loaded
+                                     - pre_loaded_before)
         timing.wall_seconds = time.perf_counter() - batch_start
         if timing.points:
             self.batch_log.append(timing)

@@ -173,6 +173,26 @@ class PackedTrace:
         """Per-entry flag byte (``F_*`` bits; bit 0 is ``taken``)."""
         return self._flags
 
+    def mem_addr_column(self) -> Column:
+        """Effective byte address per entry (u32; 0 when ``F_HAS_ADDR`` is
+        clear, matching the ``(mem_addr or 0)`` idiom of the view path)."""
+        return self._mem_addr
+
+    def value_column(self) -> Column:
+        """Loaded/stored value per entry (u32; 0 when ``F_HAS_VALUE`` is
+        clear)."""
+        return self._value
+
+    def dep_column(self) -> Column:
+        """Oracle dependence per entry (u32; ``NO_DEP`` for loads without a
+        producing store and for every non-load)."""
+        return self._dep
+
+    def mem_size_column(self) -> Column:
+        """Access size in bytes per entry (u8; 0 when ``F_HAS_SIZE`` is
+        clear)."""
+        return self._mem_size
+
     def nbytes(self) -> int:
         """Encoded payload size (the per-worker residency, vs. objects)."""
         return _HEADER.size + 20 * self._n + 2 * _pad(self._n)

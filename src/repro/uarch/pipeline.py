@@ -124,7 +124,8 @@ class Simulator:
 
     def __init__(self, program: Program, trace: List[TraceEntry],
                  params: CoreParams, track_arch_state: bool = False,
-                 tracer: Optional[PipelineTracer] = None):
+                 tracer: Optional[PipelineTracer] = None,
+                 precompute=None):
         self.program = program
         self.trace = trace
         self.params = params
@@ -178,9 +179,21 @@ class Simulator:
         # Occupancy-at-drain sampling happens inside the buffer itself.
         self.sb.tracer = self._tr
 
+        # Shared whole-trace precompute bundle (kernel/precompute.py):
+        # honoured only when it was built for this trace under this
+        # configuration's predictor geometry, so a config overriding any
+        # bpred parameter silently falls back to the per-run passes.
+        self._pre = None
+        if (precompute is not None and getattr(trace, "columnar", False)
+                and precompute.matches(trace, params)):
+            self._pre = precompute
+
         # Architectural memory image evolved by *committed* stores only.
-        self.timing_mem = SparseMemory()
-        self.timing_mem.load_segment(program.data_base, program.data)
+        if self._pre is not None:
+            self.timing_mem = self._pre.base_memory().copy()
+        else:
+            self.timing_mem = SparseMemory()
+            self.timing_mem.load_segment(program.data_base, program.data)
 
         # Rename state.
         self.rename_map: List[int] = []
@@ -221,7 +234,19 @@ class Simulator:
         # objects.  Both produce identical tables (golden-pinned).
         self._dec: Dict[int, _Decoded] = {}
         self._taken_bits = None
-        if getattr(trace, "columnar", False):
+        if self._pre is not None:
+            # Batched fast path: the tables were computed once for this
+            # trace and are shared by every config/worker simulating it.
+            # Fetch walks every entry, so the bundle's fully-materialised
+            # shared entry list replaces the lazy per-access wrapper:
+            # after __init__ the trace is only indexed and iterated, and
+            # plain-list indexing keeps a Python call out of the hot loop.
+            self._taken_bits = trace.flags_column()
+            self.trace = self._pre.entry_list()
+            self._mispredicted = self._pre.mispredicted_list()
+            self._history = self._pre.history_list()
+            self._dec_by_index = self._pre.decode_index(params)
+        elif getattr(trace, "columnar", False):
             self._taken_bits = trace.flags_column()
             self._init_from_columns(trace, params)
         else:

@@ -100,6 +100,96 @@ class TestPackedTraceFidelity:
         assert pack_trace(program, packed) is packed
 
 
+class TestColumnAccessorEdgeCases:
+    """The columnar fast-path accessors feed ``np.frombuffer`` in the
+    precompute layer, so their shape must hold at every boundary: empty
+    traces, single-entry traces, traces exactly at the instruction cap,
+    and the byteswap fallback decode used when a raw ``memoryview`` cast
+    is unavailable."""
+
+    ACCESSORS = ("static_column", "next_pc_column", "flags_column",
+                 "mem_addr_column", "value_column", "dep_column",
+                 "mem_size_column")
+
+    def column_lists(self, packed):
+        return {name: list(getattr(packed, name)())[:len(packed)]
+                for name in self.ACCESSORS}
+
+    def test_empty_trace_columns(self):
+        program, _trace = random_case(0)
+        empty = PackedTrace.from_entries(program, [])
+        assert len(empty) == 0
+        for name in self.ACCESSORS:
+            assert len(getattr(empty, name)()) == 0
+        assert list(empty) == []
+        assert empty[0:0] == []
+        with pytest.raises(IndexError):
+            empty[0]
+
+    def test_single_entry_trace_columns(self):
+        from repro.isa import assemble
+        program = assemble("""
+            .text
+        main: halt
+        """)
+        trace = FunctionalCpu(program).run_trace()
+        assert len(trace) == 1
+        packed = pack_trace(program, trace)
+        assert list(packed.static_column())[:1] == [0]
+        assert list(packed.dep_column())[:1] != []
+        assert_entries_identical(packed, trace)
+        # ...and a single-entry blob survives the disk roundtrip.
+        again = PackedTrace.from_buffer(program, packed.to_bytes())
+        assert_entries_identical(again, trace)
+
+    def test_trace_exactly_at_instruction_cap(self):
+        from repro.kernel import ExecutionError
+        program, trace = random_case(5)
+        cap = len(trace)
+        capped = FunctionalCpu(program).run_trace(max_instructions=cap)
+        assert len(capped) == cap                # boundary: == cap is fine
+        packed = pack_trace(program, capped)
+        assert_entries_identical(packed, capped)
+        with pytest.raises(ExecutionError):
+            FunctionalCpu(program).run_trace(max_instructions=cap - 1)
+
+    def test_byteswap_fallback_decode_matches_cast(self, monkeypatch):
+        import repro.kernel.tracestore as tracestore_mod
+        program, trace = random_case(1)
+        packed = pack_trace(program, trace)
+        blob = packed.to_bytes()
+        cast = PackedTrace.from_buffer(program, blob)
+        monkeypatch.setattr(tracestore_mod, "_CAN_CAST", False)
+        fallback = PackedTrace.from_buffer(program, blob)
+        assert_entries_identical(fallback, trace)
+        for name in self.ACCESSORS:
+            assert (list(getattr(fallback, name)())[:len(packed)]
+                    == list(getattr(cast, name)())[:len(packed)])
+
+    def test_accessors_identical_across_construction_paths(self):
+        # from_entries (array columns), from_bytes (memoryview casts),
+        # and the direct columnar recorder must expose the same columns.
+        program, trace = random_case(2)
+        from_list = pack_trace(program, trace)
+        from_blob = PackedTrace.from_buffer(program, from_list.to_bytes())
+        direct = run_trace_packed(program)
+        want = self.column_lists(from_list)
+        assert self.column_lists(from_blob) == want
+        assert self.column_lists(direct) == want
+
+    def test_columns_feed_numpy_zero_copy(self):
+        np = pytest.importorskip("numpy")
+        program, trace = random_case(3)
+        packed = PackedTrace.from_buffer(program,
+                                        pack_trace(program, trace).to_bytes())
+        n = len(packed)
+        statics = np.frombuffer(packed.static_column(), dtype=np.uint32,
+                                count=n)
+        flags = np.frombuffer(packed.flags_column(), dtype=np.uint8, count=n)
+        assert statics.tolist() == list(packed.static_column())[:n]
+        assert flags.tolist() == list(packed.flags_column())[:n]
+
+
 class TestGoldenIdentity:
     @pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: m.value)
     def test_stats_identical_packed_vs_list(self, model):
@@ -309,13 +399,19 @@ class TestSweepBenchCheck:
                      "simulations": 16},
             "warm_store": {"wall_seconds": 7.5, "functional_traces": 0,
                            "simulations": 16},
+            "batched": {"wall_seconds": 5.0, "functional_traces": 0,
+                        "simulations": 16, "precomputes_built": 0,
+                        "precomputes_loaded": 2},
             "warm": {"wall_seconds": 0.5, "functional_traces": 0,
                      "simulations": 0},
         }
         return {
             "legs": legs,
+            "workloads": ["mcf", "lbm"],
             "stats_consistent": True,
-            "speedups": {"cold": 1.25, "warm_store": 1.33, "warm": 20.0},
+            "speedups": {"cold": 1.25, "warm_store": 1.33, "batched": 2.0,
+                         "warm": 20.0},
+            "batched_vs_warm_store": 1.5,
             "rss": {"legacy_max_rss_kb": 50_000,
                     "packed_max_rss_kb": 30_000,
                     "drop_kb": 20_000, "drop_percent": 40.0},
@@ -340,6 +436,31 @@ class TestSweepBenchCheck:
         payload["speedups"]["warm"] = 1.2
         checked = sweepbench.attach_check(payload, check=True)
         assert not checked["check"]["passed"]
+
+    def test_fails_below_batched_speedup_floor(self):
+        from repro.harness import sweepbench
+        payload = self.payload()
+        payload["batched_vs_warm_store"] = 1.1
+        checked = sweepbench.attach_check(payload, check=True)
+        assert not checked["check"]["passed"]
+        assert not checked["check"]["details"]["batched_speedup_ok"]
+
+    def test_fails_on_redundant_precompute(self):
+        from repro.harness import sweepbench
+        payload = self.payload()
+        payload["legs"]["batched"]["precomputes_built"] = 1
+        checked = sweepbench.attach_check(payload, check=True)
+        assert not checked["check"]["passed"]
+        assert not checked["check"]["details"][
+            "batched_zero_redundant_precompute"]
+
+    def test_fails_when_batched_leg_misses_a_bundle(self):
+        from repro.harness import sweepbench
+        payload = self.payload()
+        payload["legs"]["batched"]["precomputes_loaded"] = 1
+        checked = sweepbench.attach_check(payload, check=True)
+        assert not checked["check"]["details"][
+            "batched_zero_redundant_precompute"]
 
     def test_fails_on_rss_regression(self):
         from repro.harness import sweepbench

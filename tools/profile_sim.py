@@ -3,12 +3,16 @@
 
 Runs the whole point -- functional tracing *and* timing simulation --
 under one profile, prints the top functions by cumulative time, and
-closes with a phase split (trace seconds vs. sim seconds vs. trace-store
-I/O) so "the simulator is slow" can be attributed to the right loop:
+closes with a phase split (trace seconds vs. precompute seconds vs. sim
+seconds) so "the simulator is slow" can be attributed to the right loop.
+Simulator construction is timed as its own "precompute" phase: that is
+where the whole-trace passes (branch outcomes, history, decode) run,
+whether per-config inside ``__init__`` or amortized via a shared
+:class:`TracePrecompute` bundle (``--batched``).
 
     PYTHONPATH=src python tools/profile_sim.py mcf --model dmdp --top 25
     PYTHONPATH=src python tools/profile_sim.py lbm --output lbm.prof
-    PYTHONPATH=src python tools/profile_sim.py mcf --packed
+    PYTHONPATH=src python tools/profile_sim.py mcf --packed --batched
 
 ``--packed`` traces into the columnar :class:`PackedTrace` form (the
 harness default since the trace store landed); the default traces into a
@@ -51,6 +55,9 @@ def main(argv=None) -> int:
     parser.add_argument("--packed", action="store_true",
                         help="trace into the columnar PackedTrace form "
                              "(harness default) instead of List[TraceEntry]")
+    parser.add_argument("--batched", action="store_true",
+                        help="build a shared TracePrecompute bundle and "
+                             "hand it to the Simulator (implies --packed)")
     parser.add_argument("--sim-only", action="store_true",
                         help="profile Simulator.run() alone, trace "
                              "construction excluded")
@@ -69,11 +76,23 @@ def main(argv=None) -> int:
     program = spec.build(iterations)
     params = model_params(ModelKind(args.model))
 
+    if args.batched:
+        args.packed = True
+
     def build_trace():
         if args.packed:
             return run_trace_packed(program)
         return FunctionalCpu(program).run_trace(
             max_instructions=MAX_TRACE_INSTRUCTIONS)
+
+    def build_simulator(trace):
+        if args.batched:
+            from repro.kernel.precompute import (TracePrecompute,
+                                                 bpred_signature)
+            pre = TracePrecompute.build(trace, bpred_signature(params))
+            return Simulator(program, pre.cached_trace(), params,
+                             precompute=pre)
+        return Simulator(program, trace, params)
 
     profile = cProfile.Profile()
     start = time.perf_counter()
@@ -81,29 +100,38 @@ def main(argv=None) -> int:
         trace = build_trace()
         trace_seconds = time.perf_counter() - start
         start = time.perf_counter()
+        sim = build_simulator(trace)
+        pre_seconds = time.perf_counter() - start
+        start = time.perf_counter()
         profile.enable()
-        stats = Simulator(program, trace, params).run()
+        stats = sim.run()
         profile.disable()
         sim_seconds = time.perf_counter() - start
     else:
         profile.enable()
         trace = build_trace()
         trace_seconds = time.perf_counter() - start
+        pre_start = time.perf_counter()
+        sim = build_simulator(trace)
+        pre_seconds = time.perf_counter() - pre_start
         sim_start = time.perf_counter()
-        stats = Simulator(program, trace, params).run()
+        stats = sim.run()
         profile.disable()
         sim_seconds = time.perf_counter() - sim_start
-    elapsed = trace_seconds + sim_seconds
+    elapsed = trace_seconds + pre_seconds + sim_seconds
 
-    print("%s/%s (%s trace): %d instructions, %d cycles in %.3fs "
+    print("%s/%s (%s trace%s): %d instructions, %d cycles in %.3fs "
           "(%.0f cycles/sec)"
           % (args.workload, args.model,
              "packed" if args.packed else "list",
+             ", batched" if args.batched else "",
              stats.instructions, stats.cycles, elapsed,
              stats.cycles / sim_seconds))
     print("phase attribution:")
     print("  functional tracing   %9.3fs  %5.1f%%"
           % (trace_seconds, 100.0 * trace_seconds / elapsed))
+    print("  precompute           %9.3fs  %5.1f%%"
+          % (pre_seconds, 100.0 * pre_seconds / elapsed))
     print("  timing simulation    %9.3fs  %5.1f%%"
           % (sim_seconds, 100.0 * sim_seconds / elapsed))
     report = pstats.Stats(profile)
