@@ -23,9 +23,16 @@ Commands
 ``experiment EXP_ID``
     Reproduce one paper figure/table (see ``list`` for ids).
 ``cache``
-    Inspect or clear the persistent result cache, its trace store, and
-    the precompute-bundle store; ``gc`` sweeps ``*.tmp`` files orphaned
-    by killed sessions.
+    Inspect or clear the persistent result cache, its trace store, the
+    precompute-bundle store, and recorded sweep ledgers; ``gc`` sweeps
+    ``*.tmp`` files (and ``*.jsonl.tmp`` ledgers) orphaned by killed
+    sessions.
+``ledger report / diff / validate``
+    Consume sweep telemetry ledgers recorded with ``--ledger``
+    (DESIGN.md section 15): ``report`` renders the sweep health view
+    (task timeline, retry/failure/straggler summary, cache efficiency,
+    phase breakdown), ``diff`` compares two ledgers, ``validate``
+    checks every span against the schema.
 ``bench-hotloop``
     Measure simulator hot-loop throughput (cycles/sec per model) plus
     the batched multi-config leg (shared precompute bundle vs. fresh
@@ -55,7 +62,11 @@ processes; ``--no-cache`` disables the persistent result cache (location:
 ``$REPRO_CACHE_DIR``, default ``.repro-cache``); ``--profile`` runs the
 command under cProfile and prints the top-25 cumulative report plus a
 phase split (functional tracing vs. whole-trace precompute vs. timing
-simulation vs. trace-store I/O).
+simulation vs. trace-store I/O); ``--ledger [PATH]`` records every
+sweep's telemetry spans to an append-only JSONL ledger (default
+location: ``<cache>/ledgers/``); ``--progress`` renders live sweep
+health from the same span stream (single repainted line on a TTY,
+periodic summaries otherwise).
 
 Fault tolerance (see DESIGN.md Section 11): ``--timeout S`` bounds each
 worker task's wall clock, ``--retries N`` / ``--backoff S`` control the
@@ -69,12 +80,16 @@ where it died.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+import time
+from pathlib import Path
 from typing import List, Optional
 
-from .harness import (BatchFailure, ExperimentRunner, PrecomputeStore,
-                      ResultCache, RetryPolicy, SimPoint, TraceStore,
-                      hotloop, make_point, sweepbench)
+from .harness import (BatchFailure, ExperimentRunner, LedgerDir,
+                      PrecomputeStore, ResultCache, RetryPolicy, SimPoint,
+                      TraceStore, default_ledger_dir, hotloop, make_point,
+                      sweepbench)
 from .harness.experiments import ALL_EXPERIMENTS
 from .harness.reporting import (format_failure_table, format_run_report,
                                 format_table)
@@ -106,7 +121,36 @@ def _overrides(args) -> dict:
         out["consistency"] = Consistency.RMO
     if getattr(args, "tage", False):
         out["use_tage_predictor"] = True
+    costs = _energy_costs(args)
+    if costs is not None:
+        out["energy"] = costs
     return out
+
+
+def _energy_costs(args):
+    """Fold repeated ``--energy-cost NAME=VALUE`` flags into an
+    :class:`EnergyParams` override (None when no flag was given)."""
+    specs = getattr(args, "energy_cost", None)
+    if not specs:
+        return None
+    import dataclasses
+
+    from .uarch.params import EnergyParams
+    valid = {f.name for f in dataclasses.fields(EnergyParams)}
+    costs = {}
+    for spec in specs:
+        name, sep, value = spec.partition("=")
+        name = name.strip().replace("-", "_")
+        if not sep or name not in valid:
+            raise argparse.ArgumentTypeError(
+                "bad --energy-cost %r (expected NAME=VALUE with NAME one "
+                "of %s)" % (spec, ", ".join(sorted(valid))))
+        try:
+            costs[name] = float(value)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                "bad --energy-cost value %r (not a number)" % value)
+    return dataclasses.replace(EnergyParams(), **costs)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -141,6 +185,15 @@ def build_parser() -> argparse.ArgumentParser:
                         help="on unrecoverable point failures, render "
                              "partial results plus a failure table "
                              "instead of aborting the sweep")
+    parser.add_argument("--ledger", nargs="?", const="auto", default=None,
+                        metavar="PATH",
+                        help="record sweep telemetry spans to a JSONL "
+                             "ledger at PATH (default: a timestamped file "
+                             "under <cache>/ledgers/); inspect with "
+                             "'repro ledger report'")
+    parser.add_argument("--progress", action="store_true",
+                        help="render live sweep health from the telemetry "
+                             "span stream (line summaries when not a TTY)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list workloads and experiments")
@@ -148,6 +201,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare = sub.add_parser("compare",
                              help="one workload under all four models")
     compare.add_argument("workload", choices=ALL_NAMES)
+    _add_energy_flags(compare)
 
     run = sub.add_parser("run", help="one workload under one model")
     run.add_argument("workload", choices=ALL_NAMES)
@@ -165,10 +219,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--metrics", default=None, metavar="PATH",
                      help="write the structured metrics report (JSON)")
     _add_config_flags(run)
+    _add_energy_flags(run)
 
     suite = sub.add_parser("suite", help="a model across the whole suite")
     suite.add_argument("--model", type=_model, default=ModelKind.DMDP)
     _add_config_flags(suite)
+    _add_energy_flags(suite)
 
     experiment = sub.add_parser("experiment",
                                 help="reproduce one paper figure/table")
@@ -190,6 +246,26 @@ def build_parser() -> argparse.ArgumentParser:
                            help="inspect, clear, or garbage-collect the "
                                 "persistent result cache")
     cache.add_argument("action", choices=("info", "clear", "gc"))
+
+    ledger_cmd = sub.add_parser("ledger",
+                                help="inspect sweep telemetry ledgers "
+                                     "recorded with --ledger")
+    ledger_sub = ledger_cmd.add_subparsers(dest="ledger_command",
+                                           required=True)
+    ledger_report = ledger_sub.add_parser(
+        "report", help="render one ledger's sweep health report")
+    ledger_report.add_argument("path", metavar="LEDGER.jsonl")
+    ledger_report.add_argument("--json", action="store_true",
+                               help="print the raw summary as JSON")
+    ledger_diff = ledger_sub.add_parser(
+        "diff", help="compare two ledgers (b - a deltas)")
+    ledger_diff.add_argument("path_a", metavar="A.jsonl")
+    ledger_diff.add_argument("path_b", metavar="B.jsonl")
+    ledger_diff.add_argument("--json", action="store_true",
+                             help="print the raw diff as JSON")
+    ledger_validate = ledger_sub.add_parser(
+        "validate", help="check every span against the schema")
+    ledger_validate.add_argument("paths", nargs="+", metavar="LEDGER.jsonl")
 
     bench = sub.add_parser("bench-hotloop",
                            help="measure simulator hot-loop throughput "
@@ -226,9 +302,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "%.1fx faster than the ungrouped warm-store leg"
                             " with exactly one precompute per trace, the "
                             "warm legs perform zero functional re-traces, "
-                            "and packed workers use less peak RSS"
+                            "packed workers use less peak RSS, and "
+                            "recording a --ledger adds <= %.0f%% to a warm "
+                            "batched sweep"
                             % (sweepbench.MIN_WARM_SPEEDUP,
-                               sweepbench.MIN_BATCHED_SPEEDUP))
+                               sweepbench.MIN_BATCHED_SPEEDUP,
+                               sweepbench.MAX_LEDGER_OVERHEAD_PERCENT))
     sweep.add_argument("--repeats", type=int, default=3,
                        help="best-of-N timing per leg (default: 3)")
     sweep.add_argument("--output", default="BENCH_sweep.json",
@@ -283,6 +362,17 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_energy_flags(parser) -> None:
+    parser.add_argument("--energy", action="store_true",
+                        help="report energy/EDP per point (the Fig. 15 "
+                             "event-cost model) alongside IPC")
+    parser.add_argument("--energy-cost", dest="energy_cost",
+                        action="append", default=None, metavar="NAME=VALUE",
+                        help="override one EnergyParams per-event cost "
+                             "(repeatable), e.g. --energy-cost "
+                             "sq_cam_search=3.5")
+
+
 def _add_config_flags(parser) -> None:
     parser.add_argument("--store-buffer", type=int, default=None,
                         help="store buffer entries")
@@ -303,7 +393,38 @@ def _runner(args) -> ExperimentRunner:
                          backoff=max(0.0, args.backoff))
     return ExperimentRunner(scale=args.scale, jobs=args.jobs,
                             use_cache=not args.no_cache,
-                            policy=policy, keep_going=args.keep_going)
+                            policy=policy, keep_going=args.keep_going,
+                            ledger=getattr(args, "ledger_sink", None))
+
+
+def _build_sinks(args):
+    """Resolve --ledger/--progress into one LedgerSink (or None).
+
+    Returns ``(sink, ledger_path)``: the sink goes to every runner/engine
+    this invocation builds; the path (when a file ledger was requested)
+    is printed after the command finishes so the user can feed it to
+    ``repro ledger report``.
+    """
+    from .obs.ledger import JsonlLedger, TeeLedger
+    from .obs.progress import ProgressRenderer
+
+    sinks = []
+    ledger_path = None
+    if getattr(args, "ledger", None) is not None:
+        if args.ledger == "auto":
+            ledger_path = default_ledger_dir() / (
+                "%s-%s-pid%d.jsonl"
+                % (args.command, time.strftime("%Y%m%d-%H%M%S"),
+                   os.getpid()))
+        else:
+            ledger_path = Path(args.ledger)
+        sinks.append(JsonlLedger(ledger_path, command=args.command,
+                                 jobs=args.jobs, scale=args.scale))
+    if getattr(args, "progress", False):
+        sinks.append(ProgressRenderer())
+    if not sinks:
+        return None, None
+    return (sinks[0] if len(sinks) == 1 else TeeLedger(sinks)), ledger_path
 
 
 def _report_failures(runner: ExperimentRunner, out) -> int:
@@ -330,24 +451,39 @@ def cmd_list(args, out) -> int:
 
 def cmd_compare(args, out) -> int:
     runner = _runner(args)
-    resolved = runner.run_batch(SimPoint(args.workload, model)
-                                for model in ALL_MODELS)
+    overrides = _overrides(args)
+    points = {model: make_point(args.workload, model, **overrides)
+              for model in ALL_MODELS}
+    resolved = runner.run_batch(points.values())
+    with_energy = getattr(args, "energy", False)
     rows = []
     base_ipc = None
+    base_energy = None
     for model in ALL_MODELS:
-        result = resolved.get(SimPoint(args.workload, model))
+        result = resolved.get(points[model])
         if result is None:           # failed point under --keep-going
-            rows.append([model.value, None, None, None, None, None])
+            rows.append([model.value] + [None] * (7 if with_energy else 5))
             continue
         if base_ipc is None:
             base_ipc = result.ipc
+            base_energy = result.energy
         stats = result.stats
-        rows.append([model.value, stats.ipc, stats.ipc / base_ipc,
-                     stats.dep_mpki, stats.avg_load_exec_time,
-                     result.energy.edp / 1e6])
-    print(format_table(
-        ["model", "IPC", "vs baseline", "MPKI", "avg load cyc", "EDP(M)"],
-        rows, title="%s under the four models" % args.workload), file=out)
+        row = [model.value, stats.ipc, stats.ipc / base_ipc,
+               stats.dep_mpki, stats.avg_load_exec_time,
+               result.energy.edp / 1e6]
+        if with_energy:
+            ratios = result.energy.normalized_to(base_energy)
+            row[5:5] = [result.energy.total / 1e6]
+            row.append(ratios["edp"])
+        rows.append(row)
+    headers = ["model", "IPC", "vs baseline", "MPKI", "avg load cyc",
+               "EDP(M)"]
+    if with_energy:
+        headers[5:5] = ["energy(M)"]
+        headers.append("EDP vs base")
+    print(format_table(headers, rows,
+                       title="%s under the four models" % args.workload),
+          file=out)
     return _report_failures(runner, out)
 
 
@@ -386,6 +522,18 @@ def cmd_run(args, out) -> int:
           file=out)
     print("energy       %.0f (EDP %.3g)" % (result.energy.total,
                                             result.energy.edp), file=out)
+    if getattr(args, "energy", False):
+        from .energy import energy_summary
+        summary = energy_summary(result.energy)
+        total = summary["total"] or 1.0
+        rows = [[event, cost, 100.0 * cost / total]
+                for event, cost in sorted(summary["by_event"].items(),
+                                          key=lambda kv: -kv[1])]
+        print(file=out)
+        print(format_table(["event", "energy", "%"], rows,
+                           title="Energy by event (total %.0f, EDP %.6g)"
+                                 % (summary["total"], summary["edp"])),
+              file=out)
     if args.stats_json is not None:
         text = stats.to_json()
         if args.stats_json == "-":
@@ -407,8 +555,13 @@ def cmd_run(args, out) -> int:
                       % (args.trace, count), file=out)
         if args.metrics is not None:
             import json
+
+            from .energy import energy_summary
             report = (build_metrics(tracer.events)
                       if args.trace is not None else tracer.report())
+            # The unified energy-metrics path: the same energy_summary
+            # dict that feeds result rows and ledger spans.
+            report["energy"] = energy_summary(result.energy)
             with open(args.metrics, "w") as handle:
                 json.dump(report, handle, indent=2, sort_keys=True)
                 handle.write("\n")
@@ -419,18 +572,28 @@ def cmd_run(args, out) -> int:
 def cmd_suite(args, out) -> int:
     runner = _runner(args)
     results = runner.run_suite(args.model, **_overrides(args))
+    with_energy = getattr(args, "energy", False)
     rows = []
     for name in ALL_NAMES:
         if name not in results:      # failed point under --keep-going
-            rows.append([name, None, None, None, None])
+            rows.append([name] + [None] * (6 if with_energy else 4))
             continue
-        stats = results[name].stats
-        rows.append([name, stats.ipc, stats.dep_mpki,
-                     stats.avg_load_exec_time,
-                     stats.reexec_stalls_per_kilo])
-    print(format_table(
-        ["workload", "IPC", "MPKI", "avg load cyc", "reexec stalls/k"],
-        rows, title="%s across the suite" % args.model.value), file=out)
+        result = results[name]
+        stats = result.stats
+        row = [name, stats.ipc, stats.dep_mpki,
+               stats.avg_load_exec_time,
+               stats.reexec_stalls_per_kilo]
+        if with_energy:
+            row.extend([result.energy.total / 1e6,
+                        result.energy.edp / 1e6])
+        rows.append(row)
+    headers = ["workload", "IPC", "MPKI", "avg load cyc",
+               "reexec stalls/k"]
+    if with_energy:
+        headers.extend(["energy(M)", "EDP(M)"])
+    print(format_table(headers, rows,
+                       title="%s across the suite" % args.model.value),
+          file=out)
     return _report_failures(runner, out)
 
 
@@ -468,18 +631,22 @@ def cmd_cache(args, out) -> int:
     cache = ResultCache()
     store = TraceStore(root=cache.root / "traces")
     precomputes = PrecomputeStore(root=cache.root / "traces")
+    ledgers = LedgerDir(root=cache.root / "ledgers")
     if args.action == "clear":
         removed = cache.clear()
         traces = store.clear()
         bundles = precomputes.clear()
-        print("removed %d cached result(s), %d trace blob(s), and %d "
-              "precompute blob(s) from %s"
-              % (removed, traces, bundles, cache.root), file=out)
+        swept_ledgers = ledgers.clear()
+        print("removed %d cached result(s), %d trace blob(s), %d "
+              "precompute blob(s), and %d ledger(s) from %s"
+              % (removed, traces, bundles, swept_ledgers, cache.root),
+              file=out)
         return 0
     if args.action == "gc":
         # TraceStore.gc sweeps the whole shared traces/ tree, so orphaned
-        # precompute temp files are collected by the same pass.
-        removed = cache.gc() + store.gc()
+        # precompute temp files are collected by the same pass; the
+        # ledger sweep collects *.jsonl.tmp files left by killed runs.
+        removed = cache.gc() + store.gc() + ledgers.gc()
         print("swept %d orphaned temp file(s) from %s"
               % (removed, cache.root), file=out)
         return 0
@@ -493,12 +660,60 @@ def cmd_cache(args, out) -> int:
     print("precompute blobs %d" % precomputes.entry_count(), file=out)
     print("precompute size  %.1f KiB" % (precomputes.size_bytes() / 1024.0),
           file=out)
+    print("ledgers          %d" % ledgers.entry_count(), file=out)
+    print("ledger size      %.1f KiB" % (ledgers.size_bytes() / 1024.0),
+          file=out)
     print("orphaned tmp     %d" % (len(cache.tmp_files())
-                                   + len(store.tmp_files())), file=out)
+                                   + len(store.tmp_files())
+                                   + len(ledgers.tmp_files())), file=out)
     print("code version     %s" % cache.version, file=out)
     print("func version     %s" % store.version, file=out)
     print("precompute ver   %s" % precomputes.version, file=out)
     return 0
+
+
+def cmd_ledger(args, out) -> int:
+    import json
+
+    from .obs.ledger import (diff_ledgers, format_ledger_diff,
+                             format_ledger_report, iter_ledger,
+                             summarize_ledger)
+    try:
+        if args.ledger_command == "report":
+            summary = summarize_ledger(args.path)
+            if args.json:
+                print(json.dumps(summary, indent=2, sort_keys=True),
+                      file=out)
+            else:
+                print(format_ledger_report(summary), file=out)
+            return 0
+        if args.ledger_command == "diff":
+            diff = diff_ledgers(summarize_ledger(args.path_a),
+                                summarize_ledger(args.path_b))
+            if args.json:
+                print(json.dumps(diff, indent=2, sort_keys=True), file=out)
+            else:
+                print(format_ledger_diff(diff), file=out)
+            return 0
+        # validate: every span of every file against the schema.
+        bad = 0
+        for path in args.paths:
+            try:
+                spans = sum(1 for _ in iter_ledger(path, validate=True))
+            except (OSError, ValueError) as exc:
+                print("%s: INVALID (%s)" % (path, exc), file=out)
+                bad += 1
+                continue
+            print("%s: %d span(s) ok" % (path, spans), file=out)
+        return 1 if bad else 0
+    except BrokenPipeError:     # |head closed the pipe; not a ledger error
+        raise
+    except OSError as exc:
+        print("error: cannot read ledger: %s" % exc, file=out)
+        return 1
+    except ValueError as exc:
+        print("error: malformed ledger: %s" % exc, file=out)
+        return 1
 
 
 def cmd_bench_hotloop(args, out) -> int:
@@ -600,7 +815,8 @@ def cmd_fuzz(args, out) -> int:
             jobs=args.jobs, mutation=args.mutate,
             minimize_findings=not args.no_minimize,
             artifacts_dir=args.artifacts, collide=args.collide,
-            policy=policy, progress=lambda line: print(line, file=out))
+            policy=policy, progress=lambda line: print(line, file=out),
+            ledger=getattr(args, "ledger_sink", None))
         print(report.format(), file=out)
         return 0 if report.ok else 1
 
@@ -660,6 +876,7 @@ COMMANDS = {
     "bench-hotloop": cmd_bench_hotloop,
     "bench-sweep": cmd_bench_sweep,
     "fuzz": cmd_fuzz,
+    "ledger": cmd_ledger,
 }
 
 
@@ -668,7 +885,17 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     command = COMMANDS[args.command]
     out = out if out is not None else sys.stdout
     try:
+        args.ledger_sink, ledger_path = _build_sinks(args)
+    except argparse.ArgumentTypeError as exc:
+        print("error: %s" % exc, file=out)
+        return 2
+    try:
         return _dispatch(command, args, out)
+    except argparse.ArgumentTypeError as exc:
+        # Value errors raised during command execution (e.g. a bad
+        # --energy-cost spec) render as usage errors, not tracebacks.
+        print("error: %s" % exc, file=out)
+        return 2
     except BatchFailure as exc:
         # Sweep aborted after retries: explicit failure table, not a
         # stack trace.  Everything that completed is already in the
@@ -679,6 +906,12 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         print(file=out)
         print(format_failure_table(exc.failures), file=out)
         return 1
+    finally:
+        sink = args.ledger_sink
+        if sink is not None:
+            sink.close()
+            if ledger_path is not None:
+                print("ledger written to %s" % ledger_path, file=out)
 
 
 def _phase_attribution(stats) -> List:

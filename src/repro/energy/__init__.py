@@ -1,5 +1,5 @@
 """Dynamic energy accounting and EDP (the McPAT stand-in)."""
 
-from .model import EnergyReport, edp, energy_report
+from .model import EnergyReport, edp, energy_report, energy_summary
 
-__all__ = ["EnergyReport", "edp", "energy_report"]
+__all__ = ["EnergyReport", "edp", "energy_report", "energy_summary"]

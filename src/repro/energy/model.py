@@ -43,14 +43,20 @@ class EnergyReport:
         }
 
 
-_VALID_EVENTS = None
+# Per-class cache of valid event names.  Keyed by type: an extended
+# EnergyParams subclass (extra structures, custom cost fields) must
+# validate against its *own* field set, not whichever class happened to
+# be seen first in the process.
+_VALID_EVENTS: Dict[type, frozenset] = {}
 
 
 def _valid_events(params: EnergyParams):
-    global _VALID_EVENTS
-    if _VALID_EVENTS is None:
-        _VALID_EVENTS = {f.name for f in fields(params)}
-    return _VALID_EVENTS
+    cls = type(params)
+    valid = _VALID_EVENTS.get(cls)
+    if valid is None:
+        valid = _VALID_EVENTS[cls] = frozenset(
+            f.name for f in fields(params))
+    return valid
 
 
 def energy_report(stats: SimStats,
@@ -73,3 +79,19 @@ def energy_report(stats: SimStats,
 def edp(stats: SimStats, params: EnergyParams = None) -> float:
     """Shorthand: the energy-delay product of one run."""
     return energy_report(stats, params).edp
+
+
+def energy_summary(report: EnergyReport) -> Dict[str, object]:
+    """The one JSON-serialisable energy shape every consumer shares.
+
+    CLI result rows, ``--metrics`` JSON, and ledger ``point.completed``
+    spans all embed this dict verbatim, so a value read back from any
+    of them round-trips to the exact float :func:`energy_report`
+    produced (JSON preserves doubles to the last ulp).
+    """
+    return {
+        "total": report.total,
+        "edp": report.edp,
+        "cycles": report.cycles,
+        "by_event": dict(sorted(report.by_event.items())),
+    }

@@ -181,9 +181,14 @@ def run_campaign(profiles: Sequence[Union[str, BiasProfile]],
                  collide: Optional[float] = None,
                  policy: Optional[RetryPolicy] = None,
                  progress=None,
-                 max_checks: int = DEFAULT_MAX_CHECKS) -> CampaignReport:
+                 max_checks: int = DEFAULT_MAX_CHECKS,
+                 ledger=None) -> CampaignReport:
     """Run one fuzz campaign; returns the full report (never raises on
-    divergence -- the CLI turns a non-ok report into a nonzero exit)."""
+    divergence -- the CLI turns a non-ok report into a nonzero exit).
+
+    ``ledger`` is an optional :class:`~repro.obs.ledger.LedgerSink`;
+    parallel campaigns record the engine's task lifecycle (one task per
+    fuzzed program) to it, same spans as a sweep."""
     resolved = _resolve_profiles(profiles, collide)
     model_list = list(models)
     report = CampaignReport(profiles=[p.name for p in resolved],
@@ -214,7 +219,7 @@ def run_campaign(profiles: Sequence[Union[str, BiasProfile]],
     else:
         engine = ParallelEngine(jobs=jobs, progress=progress,
                                 policy=policy, task_fn=_fuzz_task_fn,
-                                trace_paths=payloads)
+                                trace_paths=payloads, ledger=ledger)
         points = [SimPoint(spec.program_id, ORACLE, ()) for spec in specs]
         results = engine.run_points(points)
         for point, (result, seconds) in results.items():

@@ -1,8 +1,9 @@
 """Experiment harness: runner, cache, parallel engine, reproductions."""
 
-from .cache import (NullCache, NullPrecomputeStore, NullTraceStore,
-                    PrecomputeStore, ResultCache, TraceStore, code_version,
-                    default_cache_dir, functional_version,
+from .cache import (LedgerDir, NullCache, NullPrecomputeStore,
+                    NullTraceStore, PrecomputeStore, ResultCache,
+                    TraceStore, code_version, default_cache_dir,
+                    default_ledger_dir, functional_version,
                     precompute_version)
 from .resilience import (BatchFailure, FailedPoint, FaultInjector,
                          RetryPolicy, parse_fault_spec)
@@ -17,10 +18,10 @@ from . import hotloop, paper_data, sweepbench
 
 __all__ = [
     "ExperimentRunner", "SimResult", "shared_runner",
-    "NullCache", "NullPrecomputeStore", "NullTraceStore",
+    "LedgerDir", "NullCache", "NullPrecomputeStore", "NullTraceStore",
     "PrecomputeStore", "ResultCache", "TraceStore",
-    "code_version", "default_cache_dir", "functional_version",
-    "precompute_version",
+    "code_version", "default_cache_dir", "default_ledger_dir",
+    "functional_version", "precompute_version",
     "BatchFailure", "FailedPoint", "FaultInjector", "RetryPolicy",
     "parse_fault_spec",
     "BatchTiming", "ParallelEngine", "PointTiming", "SimPoint", "make_point",

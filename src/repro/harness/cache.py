@@ -122,6 +122,75 @@ def default_cache_dir() -> Path:
     return Path(os.environ.get("REPRO_CACHE_DIR", ".repro-cache"))
 
 
+def default_ledger_dir() -> Path:
+    """Where ``--ledger`` (no path) drops sweep ledgers: beside the
+    result/trace entries they narrate, so one cache dir is the whole
+    story of a machine's runs."""
+    return default_cache_dir() / "ledgers"
+
+
+class LedgerDir:
+    """Maintenance view over the sweep-ledger directory.
+
+    Ledgers are not content-addressed (each run writes a fresh file),
+    but they share the cache tree's maintenance idiom: finalised
+    ``*.jsonl`` files are the entries, and ``*.jsonl.tmp`` orphans --
+    left by runs killed before :meth:`JsonlLedger.close` renamed them
+    -- are swept by :meth:`gc` exactly like the stores' atomic-write
+    temp files.
+    """
+
+    suffix = ".jsonl"
+
+    def __init__(self, root: Optional[Path] = None):
+        self.root = Path(root) if root is not None else default_ledger_dir()
+
+    # -- maintenance ---------------------------------------------------------
+
+    def entries(self):
+        return sorted(self.root.glob("*" + self.suffix))
+
+    def entry_count(self) -> int:
+        return len(self.entries())
+
+    def size_bytes(self) -> int:
+        total = 0
+        for path in self.entries():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass
+        return total
+
+    def tmp_files(self):
+        """Ledgers of runs that died before finalising (still ``.tmp``)."""
+        return sorted(self.root.glob("*" + self.suffix + ".tmp"))
+
+    def gc(self, min_age_seconds: float = 0.0) -> int:
+        """Sweep ``*.jsonl.tmp`` ledgers orphaned by killed runs."""
+        removed = 0
+        now = time.time()
+        for path in self.tmp_files():
+            try:
+                if now - path.stat().st_mtime >= min_age_seconds:
+                    path.unlink()
+                    removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def clear(self) -> int:
+        removed = 0
+        for path in self.entries():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        self.gc()
+        return removed
+
+
 class ResultCache:
     """Content-addressed pickle store for :class:`SimResult` objects."""
 

@@ -38,6 +38,7 @@ the only writer, which keeps cache publication single-sourced.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import time
 import traceback
 from collections import deque
@@ -45,6 +46,7 @@ from dataclasses import dataclass, field
 from multiprocessing.connection import wait as _conn_wait
 from typing import Callable, Dict, List, Optional, Tuple
 
+from ..obs.ledger import NULL_LEDGER
 from ..uarch import ModelKind
 from .resilience import FailedPoint, FaultInjector, RetryPolicy
 
@@ -236,6 +238,7 @@ class _TaskState:
     deadline: Optional[float] = None
     not_before: float = 0.0          # backoff gate for the next attempt
     last_error: str = ""
+    pid: Optional[int] = None        # survives proc teardown, for the ledger
 
     @property
     def workload(self) -> str:
@@ -261,6 +264,7 @@ class ParallelEngine:
     # workload -> packed blob path, or (trace path, precompute path) pair
     trace_paths: Optional[Dict[str, object]] = None
     task_fn: Optional[Callable] = None     # custom task body (picklable)
+    ledger: object = None            # LedgerSink (None -> NULL_LEDGER)
     failures: List[FailedPoint] = field(default_factory=list)
     retried: int = 0
     timed_out: int = 0
@@ -299,6 +303,11 @@ class ParallelEngine:
         results: Dict[SimPoint, Tuple[object, float]] = {}
         policy = self.policy if self.policy is not None else RetryPolicy()
         injector = FaultInjector.from_env()
+        ledger = self.ledger if self.ledger is not None else NULL_LEDGER
+        if ledger.enabled:
+            for workload, _, configs in tasks:
+                ledger.emit("task.queued", task=workload,
+                            points=len(configs))
 
         jobs = max(1, int(self.jobs))          # clamp: jobs<1 means serial
         workers = min(jobs, len(tasks))
@@ -319,8 +328,23 @@ class ParallelEngine:
                 self.worker_precomputes_built += built
                 self.worker_precomputes_loaded += loaded
 
-        def publish(state: _TaskState, outcomes) -> None:
+        def publish(state: _TaskState, payload) -> None:
             workload = state.workload
+            outcomes = payload[1]
+            if ledger.enabled:
+                fields = {}
+                if len(payload) > 2:
+                    fields["worker_retraces"] = payload[2] or None
+                if len(payload) > 3:
+                    built, loaded = payload[3]
+                    fields["worker_precomputes_built"] = built or None
+                    fields["worker_precomputes_loaded"] = loaded or None
+                ledger.emit("task.completed", task=workload,
+                            attempt=state.failures + 1,
+                            points=len(outcomes),
+                            wall_seconds=round(
+                                time.monotonic() - state.started, 6),
+                            pid=state.pid, **fields)
             for model, overrides, result, seconds in outcomes:
                 point = SimPoint(workload, model, overrides)
                 results[point] = (result, seconds)
@@ -339,13 +363,24 @@ class ParallelEngine:
                 self.timed_out += 1
             if state.failures <= policy.retries:
                 self.retried += 1
-                state.not_before = (time.monotonic()
-                                    + policy.delay_for(state.failures))
+                delay = policy.delay_for(state.failures)
+                state.not_before = time.monotonic() + delay
                 waiting.append(state)
+                if ledger.enabled:
+                    stripped = detail.strip()
+                    ledger.emit("task.retry", task=state.workload,
+                                attempt=state.failures, cause=kind,
+                                delay_seconds=round(delay, 6),
+                                detail=(stripped.splitlines()[-1]
+                                        if stripped else None))
                 self._say("  %s %-10s -- retry %d/%d"
                           % (kind, state.workload, state.failures,
                              policy.retries))
                 return
+            if ledger.enabled:
+                ledger.emit("task.failed", task=state.workload,
+                            attempts=state.failures, cause=kind,
+                            detail=detail or None)
             for model, overrides in state.task[2]:
                 self.failures.append(FailedPoint(
                     point=SimPoint(state.workload, model, overrides),
@@ -358,6 +393,12 @@ class ParallelEngine:
         def run_inline(state: _TaskState) -> None:
             """Serial fallback: same retry semantics, no preemption, so
             the policy timeout is not enforced here."""
+            state.started = time.monotonic()
+            state.pid = os.getpid()
+            if ledger.enabled:
+                ledger.emit("task.spawned", task=state.workload,
+                            attempt=state.failures + 1, pid=state.pid,
+                            mode="inline")
             try:
                 if injector is not None:
                     injector.on_task(state.workload)
@@ -369,7 +410,7 @@ class ParallelEngine:
                         _init_worker(self.scale)
                     payload = _run_task(state.task)
                 absorb(payload)
-                publish(state, payload[1])
+                publish(state, payload)
             except Exception:
                 fail(state, "error", traceback.format_exc())
 
@@ -407,10 +448,15 @@ class ParallelEngine:
             send.close()             # child owns the write end now
             state.proc = proc
             state.conn = recv
+            state.pid = proc.pid
             state.started = time.monotonic()
             state.deadline = (state.started + policy.timeout
                               if policy.timeout else None)
             running.append(state)
+            if ledger.enabled:
+                ledger.emit("task.spawned", task=state.workload,
+                            attempt=state.failures + 1, pid=state.pid,
+                            mode="worker")
 
         while pending or waiting or running:
             now = time.monotonic()
@@ -463,7 +509,7 @@ class ParallelEngine:
                     state.proc = state.conn = None
                     if status == "ok":
                         absorb(payload)
-                        publish(state, payload[1])
+                        publish(state, payload)
                     else:
                         fail(state, "error", payload)
                 elif not state.proc.is_alive():

@@ -28,16 +28,17 @@ import traceback
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from ..energy import EnergyReport, energy_report
+from ..energy import EnergyReport, energy_report, energy_summary
 from ..isa import Program
 from ..kernel.precompute import (TracePrecompute, bpred_signature,
                                  load_precompute)
 from ..kernel.tracestore import (PackedTrace, load_trace, run_trace_packed)
+from ..obs.ledger import NULL_LEDGER, PHASE_NAMES
 from ..uarch import CoreParams, ModelKind, SimStats, model_params
 from ..uarch.pipeline import Simulator
 from ..workloads import ALL_NAMES, get_workload
 from .cache import (NullCache, NullPrecomputeStore, NullTraceStore,
-                    PrecomputeStore, ResultCache, TraceStore)
+                    PrecomputeStore, ResultCache, TraceStore, canonical)
 from .parallel import (BatchTiming, ParallelEngine, PointTiming, SimPoint,
                        make_point)
 from .resilience import BatchFailure, FailedPoint, RetryPolicy
@@ -74,7 +75,8 @@ class ExperimentRunner:
                  progress=None, collect_metrics: bool = False,
                  policy: Optional[RetryPolicy] = None,
                  keep_going: bool = False,
-                 trace_store=None, precompute_store=None):
+                 trace_store=None, precompute_store=None,
+                 ledger=None):
         """``scale`` multiplies every workload's default iteration count
         (e.g. 0.1 for quick tests); None keeps per-workload defaults.
         ``jobs`` is the worker-process count for batch submissions (1 =
@@ -89,8 +91,16 @@ class ExperimentRunner:
         :class:`RetryPolicy`); with ``keep_going=True`` a batch whose
         points exhaust their retries returns the partial result set and
         records the rest in ``failure_log`` instead of raising
-        :class:`BatchFailure`."""
+        :class:`BatchFailure`.  ``ledger`` is an optional
+        :class:`~repro.obs.ledger.LedgerSink`; the default
+        :data:`~repro.obs.ledger.NULL_LEDGER` costs one attribute
+        check per emit site (DESIGN.md section 15)."""
         self.scale = scale
+        self.ledger = ledger if ledger is not None else NULL_LEDGER
+        self.sweep_seq = 0           # monotonic sweep id for ledger spans
+        # Cumulative per-phase wall clock (ledger phase spans report the
+        # per-sweep delta); names match tools/profile_sim.py.
+        self.phase_seconds = {name: 0.0 for name in PHASE_NAMES}
         self.jobs = max(1, int(jobs))
         self.collect_metrics = collect_metrics
         self.policy = policy if policy is not None else RetryPolicy()
@@ -168,15 +178,50 @@ class ExperimentRunner:
         if workload not in self._traces:
             program = self.program(workload)
             iterations = self.iterations(workload)
+            start = time.perf_counter()
             packed = self.trace_store.load(workload, iterations, program)
+            self.phase_seconds["trace store I/O"] += (time.perf_counter()
+                                                      - start)
             if packed is not None:
                 self.traces_loaded += 1
+                if self.ledger.enabled:
+                    self.ledger.emit(
+                        "store.trace", workload=workload, event="hit",
+                        bytes=self._blob_size(
+                            self.trace_store.path_for(workload, iterations)))
             else:
+                # A blob that exists but failed to decode (truncated,
+                # format-bumped, stale) is a corrupt-miss, not a cold one.
+                stale = None
+                if self.ledger.enabled:
+                    stale = self.trace_store.path_for(workload, iterations)
+                    stale = stale is not None and stale.exists()
+                start = time.perf_counter()
                 packed = run_trace_packed(program)
+                self.phase_seconds["functional tracing"] += (
+                    time.perf_counter() - start)
                 self.traces_generated += 1
+                start = time.perf_counter()
                 self.trace_store.put(workload, iterations, packed)
+                self.phase_seconds["trace store I/O"] += (time.perf_counter()
+                                                          - start)
+                if self.ledger.enabled:
+                    self.ledger.emit(
+                        "store.trace", workload=workload,
+                        event="corrupt-miss" if stale else "build",
+                        bytes=self._blob_size(
+                            self.trace_store.path_for(workload, iterations)))
             self._traces[workload] = packed
         return self._traces[workload]
+
+    @staticmethod
+    def _blob_size(path) -> Optional[int]:
+        if path is None:
+            return None
+        try:
+            return path.stat().st_size
+        except OSError:
+            return None
 
     def ensure_trace(self, workload: str) -> Optional[str]:
         """Make sure the store holds this workload's trace; returns its
@@ -231,15 +276,39 @@ class ExperimentRunner:
         if bundle is None:
             trace = self.trace(workload)
             signature = self._bpred_signature()
+            iterations = self.iterations(workload)
+            start = time.perf_counter()
             bundle = self.precompute_store.load(
-                workload, self.iterations(workload), trace, signature)
+                workload, iterations, trace, signature)
+            self.phase_seconds["precompute"] += time.perf_counter() - start
             if bundle is not None:
                 self.precomputes_loaded += 1
+                if self.ledger.enabled:
+                    self.ledger.emit(
+                        "store.precompute", workload=workload, event="hit",
+                        bytes=self._blob_size(self.precompute_store.path_for(
+                            workload, iterations, signature)))
             else:
+                stale = None
+                if self.ledger.enabled:
+                    stale = self.precompute_store.path_for(
+                        workload, iterations, signature)
+                    stale = stale is not None and stale.exists()
+                start = time.perf_counter()
                 bundle = TracePrecompute.build(trace, signature)
                 self.precomputes_built += 1
-                self.precompute_store.put(
-                    workload, self.iterations(workload), bundle)
+                self.phase_seconds["precompute"] += (time.perf_counter()
+                                                     - start)
+                start = time.perf_counter()
+                self.precompute_store.put(workload, iterations, bundle)
+                self.phase_seconds["trace store I/O"] += (time.perf_counter()
+                                                          - start)
+                if self.ledger.enabled:
+                    self.ledger.emit(
+                        "store.precompute", workload=workload,
+                        event="corrupt-miss" if stale else "build",
+                        bytes=self._blob_size(self.precompute_store.path_for(
+                            workload, iterations, signature)))
             self._precomputes[workload] = bundle
         return bundle
 
@@ -280,8 +349,22 @@ class ExperimentRunner:
                                   model, overrides)
 
     def _log_point(self, workload: str, model: ModelKind, seconds: float,
-                   source: str) -> None:
+                   source: str, result=None, overrides=None) -> None:
         self.point_log.append(PointTiming(workload, model, seconds, source))
+        if self.ledger.enabled:
+            fields = {"workload": workload, "model": model.value,
+                      "source": source, "seconds": round(seconds, 6)}
+            if overrides:
+                fields["overrides"] = canonical(overrides)
+            if result is not None:
+                # energy/edp are the exact floats energy_report produced
+                # (JSON round-trips doubles losslessly), so ledger spans
+                # agree with repro.energy to the last ulp.
+                summary = energy_summary(result.energy)
+                fields.update(ipc=result.ipc, cycles=summary["cycles"],
+                              energy=summary["total"], edp=summary["edp"],
+                              energy_by_event=summary["by_event"])
+            self.ledger.emit("point.completed", **fields)
         if self.progress is not None:
             self.progress("  %-10s %-8s %-5s %.3fs"
                           % (workload, model.value, source, seconds))
@@ -332,7 +415,8 @@ class ExperimentRunner:
                            energy=energy_report(stats, params.energy))
         self.cache.put(self._disk_key(workload, model, overrides), result)
         self._results[self._memo_key(workload, model, overrides)] = result
-        self._log_point(workload, model, time.perf_counter() - start, "sim")
+        self._log_point(workload, model, time.perf_counter() - start, "sim",
+                        result=result, overrides=overrides)
         return result
 
     def run(self, workload: str, model: ModelKind,
@@ -352,12 +436,12 @@ class ExperimentRunner:
         result = None if self.collect_metrics else self.cache.get(disk_key)
         if result is not None:
             self._log_point(workload, model, time.perf_counter() - start,
-                            "cache")
+                            "cache", result=result, overrides=overrides)
         else:
             result = self._simulate(workload, model, overrides)
             self.cache.put(disk_key, result)
             self._log_point(workload, model, time.perf_counter() - start,
-                            "sim")
+                            "sim", result=result, overrides=overrides)
         self._results[key] = result
         return result
 
@@ -386,7 +470,8 @@ class ExperimentRunner:
         self._results[key] = result
         self._failed_keys.pop(key, None)
         out[point] = result
-        self._log_point(point.workload, point.model, seconds, "sim")
+        self._log_point(point.workload, point.model, seconds, "sim",
+                        result=result, overrides=overrides)
 
     def _simulate_with_retry(self, point: SimPoint,
                              publish) -> Optional[FailedPoint]:
@@ -433,6 +518,13 @@ class ExperimentRunner:
         traces_before = self.traces_generated
         pre_built_before = self.precomputes_built
         pre_loaded_before = self.precomputes_loaded
+        phases_before = dict(self.phase_seconds)
+        points = list(points)
+        self.sweep_seq += 1
+        sweep_id = self.sweep_seq
+        if self.ledger.enabled:
+            self.ledger.emit("sweep.begin", sweep=sweep_id, jobs=self.jobs,
+                             submitted=len(points))
         timing = BatchTiming(jobs=self.jobs)
         out: Dict[SimPoint, SimResult] = {}
         misses: List[SimPoint] = []
@@ -463,7 +555,8 @@ class ExperimentRunner:
                 self._results[key] = result
                 out[point] = result
                 self._log_point(point.workload, point.model,
-                                time.perf_counter() - start, "cache")
+                                time.perf_counter() - start, "cache",
+                                result=result, overrides=overrides)
             else:
                 misses.append(point)
 
@@ -491,7 +584,8 @@ class ExperimentRunner:
                                         progress=self.progress,
                                         policy=self.policy,
                                         on_result=publish,
-                                        trace_paths=trace_paths or None)
+                                        trace_paths=trace_paths or None,
+                                        ledger=self.ledger)
                 resolved = engine.run_points(misses)
                 fresh_failures.extend(engine.failures)
                 timing.retried += engine.retried
@@ -550,6 +644,39 @@ class ExperimentRunner:
         timing.wall_seconds = time.perf_counter() - batch_start
         if timing.points:
             self.batch_log.append(timing)
+        if self.ledger.enabled:
+            for failure in failures:
+                self.ledger.emit(
+                    "point.failed", workload=failure.point.workload,
+                    model=failure.point.model.value, cause=failure.kind,
+                    attempts=failure.attempts,
+                    overrides=(canonical(failure.point.override_dict)
+                               if failure.point.overrides else None),
+                    detail=failure.detail or None)
+            # "timing simulation" is the summed per-point simulation
+            # time; the other phases are this batch's deltas of the
+            # runner-lifetime accumulators fed by trace()/precompute_for().
+            for name in PHASE_NAMES:
+                delta = (timing.sim_seconds if name == "timing simulation"
+                         else self.phase_seconds[name] - phases_before[name])
+                if delta > 0.0:
+                    self.ledger.emit("phase", sweep=sweep_id, name=name,
+                                     seconds=round(delta, 6))
+            self.ledger.emit(
+                "sweep.end", sweep=sweep_id, points=timing.points,
+                simulated=timing.simulated, memo_hits=timing.memo_hits,
+                cache_hits=timing.cache_hits, failed=timing.failed,
+                retried=timing.retried, timed_out=timing.timed_out,
+                wall_seconds=round(timing.wall_seconds, 6),
+                sim_seconds=round(timing.sim_seconds, 6),
+                traces_generated=timing.traces_generated or None,
+                worker_retraces=timing.worker_retraces or None,
+                precomputes_built=timing.precomputes_built or None,
+                precomputes_loaded=timing.precomputes_loaded or None,
+                worker_precomputes_built=(timing.worker_precomputes_built
+                                          or None),
+                worker_precomputes_loaded=(timing.worker_precomputes_loaded
+                                           or None))
         if failures and not self.keep_going:
             raise BatchFailure(failures)
         return out

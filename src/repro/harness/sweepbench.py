@@ -100,6 +100,13 @@ MIN_WARM_SPEEDUP = 1.5
 MIN_WARM_STORE_SPEEDUP = 1.05
 MIN_BATCHED_SPEEDUP = 1.2
 
+# Ceiling on the cost of recording a sweep ledger (ISSUE 8 acceptance:
+# a warm 16-point sweep with --ledger stays within 5% of one without).
+# Both legs are timed best-of-N in the same session, so the gate is
+# machine-independent; the flush-per-span JSONL writer costs well under
+# 1% at these span rates.
+MAX_LEDGER_OVERHEAD_PERCENT = 5.0
+
 _LEG_DESCRIPTIONS = {
     "legacy": "no trace store, no result cache: every point re-traces "
               "and re-simulates (pre-store behaviour)",
@@ -231,6 +238,53 @@ def _run_leg(leg: str, scale: Optional[float],
     return entry, ipc
 
 
+# -- ledger overhead probe ---------------------------------------------------
+
+
+def measure_ledger_overhead(scale: Optional[float], store_root: Path,
+                            repeats: int = 3) -> Dict[str, object]:
+    """Wall cost of recording a sweep ledger on the warm batched matrix.
+
+    Runs the full point matrix through ``run_batch`` against warm trace
+    and precompute stores (result cache off, so every point simulates),
+    best-of-``repeats`` with no ledger and again with a live
+    :class:`~repro.obs.ledger.JsonlLedger`, alternating legs within each
+    pass so machine drift hits both equally.  This is the acceptance
+    probe for the NullLedger's zero-overhead contract *and* for the
+    enabled writer staying in the noise.
+    """
+    from ..obs.ledger import JsonlLedger
+    from .parallel import make_point
+
+    points = [make_point(workload, model, **overrides)
+              for workload, model, overrides in bench_points()]
+    plain_wall = ledger_wall = float("inf")
+    spans = 0
+    with tempfile.TemporaryDirectory(prefix="repro-ledgerbench-") as tmp:
+        for _ in range(max(1, repeats)):
+            start = time.perf_counter()
+            _leg_runner(scale, store_root, None).run_batch(points)
+            plain_wall = min(plain_wall, time.perf_counter() - start)
+
+            sink = JsonlLedger(Path(tmp) / "bench.jsonl", command="bench")
+            start = time.perf_counter()
+            runner = _leg_runner(scale, store_root, None)
+            runner.ledger = sink
+            runner.run_batch(points)
+            ledger_wall = min(ledger_wall, time.perf_counter() - start)
+            sink.close()
+            spans = sink.spans
+    overhead = 100.0 * (ledger_wall - plain_wall) / plain_wall
+    return {
+        "points": len(points),
+        "repeats": repeats,
+        "plain_seconds": round(plain_wall, 6),
+        "ledger_seconds": round(ledger_wall, 6),
+        "overhead_percent": round(overhead, 2),
+        "spans": spans,
+    }
+
+
 # -- RSS probe ---------------------------------------------------------------
 
 
@@ -358,6 +412,15 @@ def run_benchmark(smoke: bool = False, scale: Optional[float] = None,
             legs["warm_store"]["wall_seconds"]
             / legs["batched"]["wall_seconds"], 3)
 
+        # Ledger overhead probe against the now-warm stores (every point
+        # still simulates; only the telemetry sink differs between legs).
+        payload["ledger"] = measure_ledger_overhead(scale, store_root,
+                                                    repeats=repeats)
+        if progress is not None:
+            progress("  ledger overhead %+.2f%% (%d spans)"
+                     % (payload["ledger"]["overhead_percent"],
+                        payload["ledger"]["spans"]))
+
         # RSS probe at its own (larger) scale: warm the store for it
         # first, so the packed child maps a blob instead of tracing.
         probe_scale = SMOKE_PROBE_SCALE if smoke else PROBE_SCALE
@@ -369,7 +432,9 @@ def run_benchmark(smoke: bool = False, scale: Optional[float] = None,
 def attach_check(payload: dict, check: bool = False,
                  min_warm: float = MIN_WARM_SPEEDUP,
                  min_warm_store: float = MIN_WARM_STORE_SPEEDUP,
-                 min_batched: float = MIN_BATCHED_SPEEDUP) -> dict:
+                 min_batched: float = MIN_BATCHED_SPEEDUP,
+                 max_ledger_overhead: float = MAX_LEDGER_OVERHEAD_PERCENT
+                 ) -> dict:
     """Fold the pass/fail verdict into ``payload`` (mutates and returns).
 
     Unlike the hot-loop check this needs no committed baseline: every
@@ -399,6 +464,8 @@ def attach_check(payload: dict, check: bool = False,
             payload["speedups"]["warm_store"] >= min_warm_store,
         "batched_speedup_ok":
             payload["batched_vs_warm_store"] >= min_batched,
+        "ledger_overhead_ok":
+            payload["ledger"]["overhead_percent"] <= max_ledger_overhead,
         "rss_drop_ok": "error" not in rss and rss["drop_kb"] > 0,
     }
     payload["check"] = {
@@ -407,6 +474,7 @@ def attach_check(payload: dict, check: bool = False,
         "min_warm_speedup": min_warm,
         "min_warm_store_speedup": min_warm_store,
         "min_batched_speedup": min_batched,
+        "max_ledger_overhead_percent": max_ledger_overhead,
         "details": details,
     }
     return payload
@@ -434,6 +502,12 @@ def format_report(payload: dict) -> str:
                                     "precomputes_loaded"],
                                 payload["legs"]["batched"][
                                     "precomputes_built"]))
+    ledger = payload.get("ledger")
+    if ledger:
+        lines.append("  ledger overhead: %.2fs plain -> %.2fs recorded "
+                     "(%+.2f%%, %d spans)"
+                     % (ledger["plain_seconds"], ledger["ledger_seconds"],
+                        ledger["overhead_percent"], ledger["spans"]))
     rss = payload["rss"]
     if "error" in rss:
         lines.append("  rss probe failed: %s" % rss["error"])

@@ -16,6 +16,11 @@ from .jsonl import iter_jsonl, read_jsonl, write_jsonl
 from .konata import KonataRecord, parse_konata, write_konata
 from .metrics import MetricsAccumulator, build_metrics
 from .report import format_trace_report, summarize_jsonl
+from .ledger import (LEDGER_SCHEMA_VERSION, JsonlLedger, LedgerSink,
+                     NULL_LEDGER, NullLedger, TeeLedger, diff_ledgers,
+                     format_ledger_diff, format_ledger_report, iter_ledger,
+                     read_ledger, summarize_ledger, validate_span)
+from .progress import ProgressRenderer
 
 __all__ = [
     "EventKind", "MetricsTracer", "NULL_TRACER", "NullTracer",
@@ -24,4 +29,8 @@ __all__ = [
     "KonataRecord", "parse_konata", "write_konata",
     "MetricsAccumulator", "build_metrics",
     "format_trace_report", "summarize_jsonl",
+    "LEDGER_SCHEMA_VERSION", "JsonlLedger", "LedgerSink", "NULL_LEDGER",
+    "NullLedger", "TeeLedger", "diff_ledgers", "format_ledger_diff",
+    "format_ledger_report", "iter_ledger", "read_ledger",
+    "summarize_ledger", "validate_span", "ProgressRenderer",
 ]

@@ -1,0 +1,122 @@
+"""Live sweep progress driven by the ledger span stream.
+
+:class:`ProgressRenderer` is a :class:`~repro.obs.ledger.LedgerSink`
+that consumes the same spans :class:`~repro.obs.ledger.JsonlLedger`
+writes to disk -- the CLI tees one span stream into both, so the live
+view and the durable record can never disagree.
+
+On a TTY it repaints a single status line in place (carriage return,
+no curses); in CI / redirected output it degrades to periodic full
+lines (at most one per :data:`NON_TTY_INTERVAL` seconds plus one per
+terminal event), so logs stay readable.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Optional, TextIO
+
+from .ledger import LedgerSink
+
+NON_TTY_INTERVAL = 5.0
+
+
+class ProgressRenderer(LedgerSink):
+    """Render sweep health live from the span stream."""
+
+    enabled = True
+
+    def __init__(self, stream: Optional[TextIO] = None,
+                 interval: Optional[float] = None,
+                 force_tty: Optional[bool] = None):
+        self.stream = stream if stream is not None else sys.stderr
+        self.is_tty = (force_tty if force_tty is not None
+                       else bool(getattr(self.stream, "isatty", lambda: False)()))
+        self.interval = interval if interval is not None else (
+            0.0 if self.is_tty else NON_TTY_INTERVAL)
+        self._last_paint = 0.0
+        self._line_width = 0
+        self.submitted = 0
+        self.completed = 0
+        self.cached = 0
+        self.failed = 0
+        self.retries = 0
+        self.running: set = set()
+        self.sweep: Optional[int] = None
+
+    # -- span intake ---------------------------------------------------------
+
+    def emit(self, kind: str, **fields) -> None:
+        terminal = False
+        if kind == "sweep.begin":
+            self.sweep = fields.get("sweep")
+            self.submitted += fields.get("submitted", 0)
+            terminal = True
+        elif kind == "task.spawned":
+            self.running.add(fields.get("task"))
+        elif kind == "task.completed":
+            self.running.discard(fields.get("task"))
+        elif kind == "task.retry":
+            self.retries += 1
+            terminal = True
+        elif kind == "task.failed":
+            self.running.discard(fields.get("task"))
+            terminal = True
+        elif kind == "point.completed":
+            self.completed += 1
+            if fields.get("source") != "sim":
+                self.cached += 1
+        elif kind == "point.failed":
+            self.failed += 1
+            terminal = True
+        elif kind == "sweep.end":
+            terminal = True
+        else:
+            return
+        self._paint(force=terminal, done=(kind == "sweep.end"))
+
+    # -- rendering -----------------------------------------------------------
+
+    def _status(self) -> str:
+        parts = ["sweep %s" % (self.sweep if self.sweep is not None else "-"),
+                 "%d/%d points" % (self.completed, self.submitted)]
+        if self.cached:
+            parts.append("%d cached" % self.cached)
+        if self.running:
+            parts.append("%d running [%s]"
+                         % (len(self.running),
+                            " ".join(sorted(str(t) for t in self.running)[:4])
+                            + (" ..." if len(self.running) > 4 else "")))
+        if self.retries:
+            parts.append("%d retr%s" % (self.retries,
+                                        "y" if self.retries == 1 else "ies"))
+        if self.failed:
+            parts.append("%d FAILED" % self.failed)
+        return "  ".join(parts)
+
+    def _paint(self, force: bool = False, done: bool = False) -> None:
+        now = time.monotonic()
+        if not force and now - self._last_paint < self.interval:
+            return
+        self._last_paint = now
+        line = self._status()
+        if self.is_tty:
+            pad = max(0, self._line_width - len(line))
+            self.stream.write("\r" + line + " " * pad)
+            self._line_width = len(line)
+            if done:
+                self.stream.write("\n")
+                self._line_width = 0
+        else:
+            self.stream.write(line + "\n")
+        self.stream.flush()
+
+    def close(self) -> None:
+        if self.is_tty and self._line_width:
+            self.stream.write("\n")
+            self.stream.flush()
+            self._line_width = 0
+
+
+__all__ = ["ProgressRenderer", "NON_TTY_INTERVAL"]

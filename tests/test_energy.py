@@ -52,6 +52,74 @@ class TestEnergyReport:
         assert ratios["delay"] == pytest.approx(0.8)
         assert ratios["edp"] == pytest.approx(1.1 * 0.8)
 
+    def test_normalized_to_zero_reference_is_exact_zero(self):
+        """A zero-denominator reference yields exactly 0.0, not NaN/inf.
+
+        Pins each denominator independently: a zero-energy reference can
+        still have cycles (and vice versa), and the ratios must stay
+        finite so downstream tables and JSON never see NaN."""
+        new = EnergyReport(total=110.0, cycles=40, by_event={})
+        no_energy = EnergyReport(total=0.0, cycles=50, by_event={})
+        ratios = new.normalized_to(no_energy)
+        assert ratios["energy"] == 0.0
+        assert ratios["delay"] == pytest.approx(0.8)
+        assert ratios["edp"] == 0.0  # edp = 0.0 * 50 == 0
+        no_cycles = EnergyReport(total=100.0, cycles=0, by_event={})
+        ratios = new.normalized_to(no_cycles)
+        assert ratios["energy"] == pytest.approx(1.1)
+        assert ratios["delay"] == 0.0
+        assert ratios["edp"] == 0.0
+        empty = EnergyReport(total=0.0, cycles=0, by_event={})
+        assert new.normalized_to(empty) == \
+            {"energy": 0.0, "delay": 0.0, "edp": 0.0}
+
+    def test_empty_events_exact_zero_semantics(self):
+        """No energy events => total/edp exactly 0.0 and by_event empty;
+        normalizing the empty report against a real one is exact zero."""
+        report = energy_report(stats_with({}, cycles=123))
+        assert report.total == 0.0
+        assert report.by_event == {}
+        assert report.cycles == 123
+        assert report.edp == 0.0
+        ref = EnergyReport(total=100.0, cycles=50, by_event={})
+        ratios = report.normalized_to(ref)
+        assert ratios["energy"] == 0.0
+        assert ratios["edp"] == 0.0
+        assert ratios["delay"] == pytest.approx(123 / 50)
+
+    def test_valid_events_keyed_by_params_type(self):
+        """The valid-event cache is per params *class*, so a params-like
+        object with extra fields doesn't poison validation for real
+        EnergyParams (regression for the module-global frozenset)."""
+        from dataclasses import make_dataclass
+
+        Extended = make_dataclass(
+            "Extended", [("alu_op", float, 1.0),
+                         ("flux_capacitor", float, 2.5)])
+        stats = stats_with({"alu_op": 2, "flux_capacitor": 4})
+        report = energy_report(stats, Extended())
+        assert report.total == pytest.approx(2 * 1.0 + 4 * 2.5)
+        # The stock params must still reject the exotic event even
+        # though the Extended lookup ran first.
+        with pytest.raises(KeyError):
+            energy_report(stats, EnergyParams())
+        assert energy_report(stats_with({"alu_op": 1})).total == \
+            EnergyParams().alu_op
+
+    def test_energy_summary_shape(self):
+        from repro.energy import energy_summary
+
+        stats = stats_with({"l1_access": 3, "alu_op": 7}, cycles=40)
+        report = energy_report(stats)
+        summary = energy_summary(report)
+        assert summary["total"] == report.total
+        assert summary["edp"] == report.edp
+        assert summary["cycles"] == 40
+        assert list(summary["by_event"]) == sorted(report.by_event)
+        assert summary["by_event"] == report.by_event
+        import json
+        assert json.loads(json.dumps(summary)) == summary
+
 
 class TestModelEnergyShape:
     def test_cam_search_dominates_ram_read(self):

@@ -415,6 +415,9 @@ class TestSweepBenchCheck:
             "rss": {"legacy_max_rss_kb": 50_000,
                     "packed_max_rss_kb": 30_000,
                     "drop_kb": 20_000, "drop_percent": 40.0},
+            "ledger": {"points": 16, "repeats": 3,
+                       "plain_seconds": 5.0, "ledger_seconds": 5.1,
+                       "overhead_percent": 2.0, "spans": 27},
         }
 
     def test_passes_on_healthy_payload(self):
@@ -453,6 +456,15 @@ class TestSweepBenchCheck:
         assert not checked["check"]["passed"]
         assert not checked["check"]["details"][
             "batched_zero_redundant_precompute"]
+
+    def test_fails_on_ledger_overhead(self):
+        from repro.harness import sweepbench
+        payload = self.payload()
+        payload["ledger"]["overhead_percent"] = \
+            sweepbench.MAX_LEDGER_OVERHEAD_PERCENT + 1.0
+        checked = sweepbench.attach_check(payload, check=True)
+        assert not checked["check"]["passed"]
+        assert not checked["check"]["details"]["ledger_overhead_ok"]
 
     def test_fails_when_batched_leg_misses_a_bundle(self):
         from repro.harness import sweepbench
