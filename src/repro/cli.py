@@ -86,14 +86,15 @@ import time
 from pathlib import Path
 from typing import List, Optional
 
+from .config import ConfigSpec, ConfigError
 from .harness import (BatchFailure, ExperimentRunner, LedgerDir,
                       PrecomputeStore, ResultCache, RetryPolicy, SimPoint,
-                      TraceStore, default_ledger_dir, hotloop, make_point,
+                      TraceStore, default_ledger_dir, hotloop, spec_point,
                       sweepbench)
 from .harness.experiments import ALL_EXPERIMENTS
 from .harness.reporting import (format_failure_table, format_run_report,
                                 format_table)
-from .uarch import ALL_MODELS, Consistency, ModelKind
+from .uarch import ALL_MODELS, ModelKind
 from .workloads import ALL_NAMES, WORKLOADS
 
 
@@ -106,30 +107,51 @@ def _model(name: str) -> ModelKind:
             % (name, ", ".join(m.value for m in ModelKind)))
 
 
-def _overrides(args) -> dict:
+def _settings(args) -> dict:
+    """Fold the legacy convenience flags, ``--energy-cost``, and generic
+    ``--set slot.field=value`` assignments into one dotted-settings dict.
+
+    ``--set`` values stay strings; :func:`_spec` parses them via the
+    registry (``parse_strings=True``), so a typoed key or ill-typed value
+    fails with a did-you-mean error before any work starts.
+    """
     out = {}
     if getattr(args, "store_buffer", None) is not None:
-        out["store_buffer_entries"] = args.store_buffer
+        out["core.store_buffer_entries"] = args.store_buffer
     if getattr(args, "rob", None) is not None:
-        out["rob_entries"] = args.rob
+        out["core.rob_entries"] = args.rob
     if getattr(args, "width", None) is not None:
-        out.update(fetch_width=args.width, rename_width=args.width,
-                   issue_width=args.width, retire_width=args.width)
+        for field in ("fetch_width", "rename_width", "issue_width",
+                      "retire_width"):
+            out["core.%s" % field] = args.width
     if getattr(args, "pregs", None) is not None:
-        out["num_pregs"] = args.pregs
+        out["core.num_pregs"] = args.pregs
     if getattr(args, "rmo", False):
-        out["consistency"] = Consistency.RMO
+        out["core.consistency"] = "rmo"
     if getattr(args, "tage", False):
-        out["use_tage_predictor"] = True
+        out["core.use_tage_predictor"] = True
     costs = _energy_costs(args)
     if costs is not None:
-        out["energy"] = costs
+        out.update(costs)
+    for assignment in getattr(args, "assignments", None) or ():
+        key, sep, value = assignment.partition("=")
+        key = key.strip()
+        if not sep or not key:
+            raise argparse.ArgumentTypeError(
+                "bad --set %r (expected SLOT.FIELD=VALUE, e.g. "
+                "--set core.rob_entries=512)" % assignment)
+        out[key] = value
     return out
 
 
+def _spec(args, model: ModelKind) -> ConfigSpec:
+    """The validated ConfigSpec for this invocation's flags."""
+    return ConfigSpec.create(model, _settings(args), parse_strings=True)
+
+
 def _energy_costs(args):
-    """Fold repeated ``--energy-cost NAME=VALUE`` flags into an
-    :class:`EnergyParams` override (None when no flag was given)."""
+    """Fold repeated ``--energy-cost NAME=VALUE`` flags into dotted
+    ``energy.NAME`` settings (None when no flag was given)."""
     specs = getattr(args, "energy_cost", None)
     if not specs:
         return None
@@ -146,11 +168,11 @@ def _energy_costs(args):
                 "bad --energy-cost %r (expected NAME=VALUE with NAME one "
                 "of %s)" % (spec, ", ".join(sorted(valid))))
         try:
-            costs[name] = float(value)
+            costs["energy.%s" % name] = float(value)
         except ValueError:
             raise argparse.ArgumentTypeError(
                 "bad --energy-cost value %r (not a number)" % value)
-    return dataclasses.replace(EnergyParams(), **costs)
+    return costs
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -201,6 +223,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare = sub.add_parser("compare",
                              help="one workload under all four models")
     compare.add_argument("workload", choices=ALL_NAMES)
+    _add_set_flag(compare)
     _add_energy_flags(compare)
 
     run = sub.add_parser("run", help="one workload under one model")
@@ -225,6 +248,30 @@ def build_parser() -> argparse.ArgumentParser:
     suite.add_argument("--model", type=_model, default=ModelKind.DMDP)
     _add_config_flags(suite)
     _add_energy_flags(suite)
+
+    config_cmd = sub.add_parser("config",
+                                help="inspect the config-space registry "
+                                     "(slots, fields, defaults) and "
+                                     "validate --set assignments")
+    config_sub = config_cmd.add_subparsers(dest="config_command",
+                                           required=True)
+    config_list = config_sub.add_parser(
+        "list", help="list the registered slots (and named ablations)")
+    config_list.add_argument("--json", action="store_true",
+                             help="print the raw registry as JSON")
+    config_show = config_sub.add_parser(
+        "show", help="show the resolved configuration for a model "
+                     "(+ optional --set assignments)")
+    config_show.add_argument("--model", type=_model, default=ModelKind.DMDP)
+    config_show.add_argument("--json", action="store_true",
+                             help="print the spec's canonical JSON")
+    _add_set_flag(config_show)
+    config_validate = config_sub.add_parser(
+        "validate", help="validate --set assignments without running "
+                         "anything (exit 2 on the first bad key/value)")
+    config_validate.add_argument("--model", type=_model,
+                                 default=ModelKind.DMDP)
+    _add_set_flag(config_validate)
 
     experiment = sub.add_parser("experiment",
                                 help="reproduce one paper figure/table")
@@ -373,6 +420,14 @@ def _add_energy_flags(parser) -> None:
                              "sq_cam_search=3.5")
 
 
+def _add_set_flag(parser) -> None:
+    parser.add_argument("--set", dest="assignments", action="append",
+                        default=None, metavar="SLOT.FIELD=VALUE",
+                        help="set any registered parameter (repeatable), "
+                             "e.g. --set predictor.tssbf_entries=64; see "
+                             "'repro config list' for the vocabulary")
+
+
 def _add_config_flags(parser) -> None:
     parser.add_argument("--store-buffer", type=int, default=None,
                         help="store buffer entries")
@@ -385,6 +440,7 @@ def _add_config_flags(parser) -> None:
                         help="relaxed memory order store buffer")
     parser.add_argument("--tage", action="store_true",
                         help="TAGE-structured distance predictor")
+    _add_set_flag(parser)
 
 
 def _runner(args) -> ExperimentRunner:
@@ -451,8 +507,10 @@ def cmd_list(args, out) -> int:
 
 def cmd_compare(args, out) -> int:
     runner = _runner(args)
-    overrides = _overrides(args)
-    points = {model: make_point(args.workload, model, **overrides)
+    settings = _settings(args)
+    points = {model: spec_point(args.workload,
+                                ConfigSpec.create(model, settings,
+                                                  parse_strings=True))
               for model in ALL_MODELS}
     resolved = runner.run_batch(points.values())
     with_energy = getattr(args, "energy", False)
@@ -489,7 +547,7 @@ def cmd_compare(args, out) -> int:
 
 def cmd_run(args, out) -> int:
     runner = _runner(args)
-    overrides = _overrides(args)
+    spec = _spec(args, args.model)
     tracing = args.trace is not None or args.metrics is not None
     if tracing:
         from .obs import (MetricsTracer, RecordingTracer, TraceWindow,
@@ -503,11 +561,11 @@ def cmd_run(args, out) -> int:
         tracer = (RecordingTracer(window=window) if args.trace is not None
                   else MetricsTracer())
         result = runner.run_traced(args.workload, args.model, tracer,
-                                   **overrides)
+                                   spec=spec)
     else:
         # Route through run_batch so the retry policy applies and a
         # failure renders as a table instead of a stack trace.
-        point = make_point(args.workload, args.model, **overrides)
+        point = spec_point(args.workload, spec)
         result = runner.run_batch([point]).get(point)
         if result is None:
             return _report_failures(runner, out)
@@ -571,7 +629,7 @@ def cmd_run(args, out) -> int:
 
 def cmd_suite(args, out) -> int:
     runner = _runner(args)
-    results = runner.run_suite(args.model, **_overrides(args))
+    results = runner.run_suite(args.model, spec=_spec(args, args.model))
     with_energy = getattr(args, "energy", False)
     rows = []
     for name in ALL_NAMES:
@@ -595,6 +653,69 @@ def cmd_suite(args, out) -> int:
                        title="%s across the suite" % args.model.value),
           file=out)
     return _report_failures(runner, out)
+
+
+def cmd_config(args, out) -> int:
+    import json as json_mod
+
+    from .config import ABLATIONS, registry
+
+    if args.config_command == "list":
+        if args.json:
+            payload = {
+                "slots": {
+                    slot.name: {
+                        "dataclass": slot.dataclass_type.__name__,
+                        "description": slot.description,
+                        "fields": {
+                            field: getattr(ftype, "__name__", str(ftype))
+                            for field, ftype in slot.types.items()},
+                    } for slot in registry.SLOTS.values()},
+                "ablations": {name: dict(settings)
+                              for name, settings in ABLATIONS.items()},
+            }
+            print(json_mod.dumps(payload, indent=2, sort_keys=True),
+                  file=out)
+            return 0
+        rows = [[slot.name, len(slot.types), slot.description]
+                for slot in registry.SLOTS.values()]
+        print(format_table(["slot", "fields", "holds"], rows,
+                           title="Config slots (set fields with --set "
+                                 "SLOT.FIELD=VALUE)"), file=out)
+        print(file=out)
+        rows = [[name, " ".join("%s=%s" % kv for kv in sorted(
+                    settings.items()))]
+                for name, settings in sorted(ABLATIONS.items())]
+        print(format_table(["ablation", "settings"], rows,
+                           title="Named ablations"), file=out)
+        return 0
+
+    spec = _spec(args, args.model)
+    if args.config_command == "validate":
+        print("ok: %s (hash %s)" % (spec.describe(), spec.spec_hash),
+              file=out)
+        return 0
+
+    # show: the resolved configuration (defaults + assignments).
+    if args.json:
+        print(spec.canonical_json(), file=out)
+        return 0
+    import enum as enum_mod
+    params = spec.to_params()
+    print("model        %s" % spec.model.value, file=out)
+    print("spec hash    %s" % spec.spec_hash, file=out)
+    overridden = dict(spec.settings)
+    rows = []
+    for slot in registry.SLOTS.values():
+        for field in slot.types:
+            key = "%s.%s" % (slot.name, field)
+            value = registry.default_value(params, key)
+            if isinstance(value, enum_mod.Enum):
+                value = value.value
+            rows.append([key, value, "*" if key in overridden else ""])
+    print(format_table(["setting", "value", "set"], rows,
+                       title="Resolved configuration"), file=out)
+    return 0
 
 
 def cmd_experiment(args, out) -> int:
@@ -870,6 +991,7 @@ COMMANDS = {
     "compare": cmd_compare,
     "run": cmd_run,
     "suite": cmd_suite,
+    "config": cmd_config,
     "experiment": cmd_experiment,
     "trace-report": cmd_trace_report,
     "cache": cmd_cache,
@@ -894,6 +1016,11 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     except argparse.ArgumentTypeError as exc:
         # Value errors raised during command execution (e.g. a bad
         # --energy-cost spec) render as usage errors, not tracebacks.
+        print("error: %s" % exc, file=out)
+        return 2
+    except ConfigError as exc:
+        # A typoed --set key / ill-typed value: the did-you-mean message
+        # is the whole story -- usage error, before any worker spawned.
         print("error: %s" % exc, file=out)
         return 2
     except BatchFailure as exc:

@@ -1,0 +1,55 @@
+"""Named ablation configurations from the paper's evaluation (Sections
+VI-VII), as registry settings.
+
+Each entry maps an ablation name to the dotted settings it applies on top
+of a model's canonical defaults.  ``repro config list`` prints these, the
+experiment sweeps in :mod:`repro.harness.experiments` build their points
+from them, and the round-trip tests pin that every one survives
+ConfigSpec -> JSON -> ConfigSpec -> params unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from ..uarch.params import ModelKind
+from .spec import ConfigSpec
+
+__all__ = ["ABLATIONS", "ablation_spec"]
+
+ABLATIONS: Dict[str, Mapping[str, object]] = {
+    # Store-buffer sensitivity (paper Fig. 13): shrink the TSO SB.
+    "store_buffer_8": {"core.store_buffer_entries": 8},
+    "store_buffer_4": {"core.store_buffer_entries": 4},
+    # Narrow 4-wide front/back end (scaling study).
+    "narrow_width_4": {"core.fetch_width": 4, "core.rename_width": 4,
+                       "core.issue_width": 4, "core.retire_width": 4},
+    # Bigger window: 512-entry ROB.
+    "rob_512": {"core.rob_entries": 512},
+    # Relaxed consistency: RMO store buffer (paper Section VI-e).
+    "rmo": {"core.consistency": "rmo"},
+    # Register-file pressure: 256 physical registers.
+    "pregs_256": {"core.num_pregs": 256},
+    # Confidence-policy cross: DMDP with NoSQ's balanced decrement.
+    "balanced_confidence": {"core.confidence_policy": "balanced"},
+    # TAGE-structured distance predictor (Section VII extension).
+    "tage_distance": {"core.use_tage_predictor": True},
+    # Untagged SSBF -- Roth's original SVW filter instead of the T-SSBF.
+    "untagged_ssbf": {"predictor.tssbf_tagged": False},
+    # Half-size verification filter.
+    "tssbf_64": {"predictor.tssbf_entries": 64},
+    # Low-confidence predictor: 4-bit counters, threshold 7.
+    "confidence_4bit": {"predictor.confidence_bits": 4,
+                        "predictor.confidence_threshold": 7,
+                        "predictor.confidence_init": 8},
+}
+
+
+def ablation_spec(name: str, model: ModelKind) -> ConfigSpec:
+    """The ConfigSpec for a named ablation under ``model``."""
+    try:
+        settings = ABLATIONS[name]
+    except KeyError:
+        raise KeyError("unknown ablation %r (known: %s)"
+                       % (name, ", ".join(sorted(ABLATIONS))))
+    return ConfigSpec.create(model, settings)

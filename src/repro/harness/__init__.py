@@ -8,7 +8,7 @@ from .cache import (LedgerDir, NullCache, NullPrecomputeStore,
 from .resilience import (BatchFailure, FailedPoint, FaultInjector,
                          RetryPolicy, parse_fault_spec)
 from .parallel import (BatchTiming, ParallelEngine, PointTiming, SimPoint,
-                       make_point)
+                       make_point, spec_point)
 from .runner import ExperimentRunner, SimResult, shared_runner
 from .reporting import (format_failure_table, format_point_log,
                         format_run_report, format_table, geomean, percent,
@@ -25,6 +25,7 @@ __all__ = [
     "BatchFailure", "FailedPoint", "FaultInjector", "RetryPolicy",
     "parse_fault_spec",
     "BatchTiming", "ParallelEngine", "PointTiming", "SimPoint", "make_point",
+    "spec_point",
     "format_failure_table", "format_point_log", "format_run_report",
     "format_table", "geomean", "percent", "shape_check", "speedup",
     "ALL_EXPERIMENTS", "ExperimentResult", "hotloop", "paper_data",

@@ -36,6 +36,11 @@ from ..kernel import tracestore
 # Bump when the pickled payload layout changes incompatibly.
 FORMAT_VERSION = 1
 
+# Bump when the ConfigSpec canonical encoding (dotted keys, scalar
+# coercion, default-dropping) changes incompatibly: every result key
+# embeds the spec's canonical dict, so this versions the key vocabulary.
+CONFIG_FORMAT_VERSION = 1
+
 # Source packages whose content determines simulation results.
 _VERSIONED_PACKAGES = ("isa", "kernel", "uarch", "workloads", "energy")
 
@@ -203,10 +208,19 @@ class ResultCache:
 
     # -- keys --------------------------------------------------------------
 
-    def key_for(self, workload: str, iterations: int, model,
-                overrides: dict) -> str:
+    def key_for_spec(self, workload: str, iterations: int, spec) -> str:
+        """Key for a :class:`~repro.config.ConfigSpec`-described point.
+
+        The spec's canonical dict (model + default-dropped settings) is
+        the sole configuration material, so any two constructions of the
+        same parameters -- bare overrides, dotted ``--set`` flags, a grid
+        expansion -- hit one entry.  ``config_format`` versions the spec
+        vocabulary itself: bump it alongside CONFIG_FORMAT_VERSION when
+        the canonical settings encoding changes incompatibly.
+        """
         material = json.dumps({
             "format": FORMAT_VERSION,
+            "config_format": CONFIG_FORMAT_VERSION,
             # Results are simulated *from* an encoded trace, so a trace
             # format bump conservatively invalidates them too (instead of
             # ever trusting stats derived from a mis-decoded blob).
@@ -214,10 +228,17 @@ class ResultCache:
             "code": self.version,
             "workload": workload,
             "iterations": iterations,
-            "model": canonical(model),
-            "overrides": canonical(overrides),
+            "spec": spec.to_dict(),
         }, sort_keys=True)
         return hashlib.sha256(material.encode()).hexdigest()
+
+    def key_for(self, workload: str, iterations: int, model,
+                overrides: dict) -> str:
+        """Legacy overrides-dict key surface; derives the key from the
+        equivalent ConfigSpec so both entry points share one entry."""
+        from ..config import ConfigSpec
+        spec = ConfigSpec.from_overrides(model, **overrides)
+        return self.key_for_spec(workload, iterations, spec)
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / (key + ".pkl")
@@ -613,6 +634,9 @@ class NullCache:
     misses = 0
 
     def key_for(self, workload, iterations, model, overrides) -> str:
+        return ""
+
+    def key_for_spec(self, workload, iterations, spec) -> str:
         return ""
 
     def get(self, key):

@@ -33,6 +33,7 @@ import time
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional
 
+from ..config import SpecGrid
 from ..kernel import FunctionalCpu
 from ..kernel.trace import MAX_TRACE_INSTRUCTIONS
 from ..uarch import ModelKind, model_params
@@ -59,8 +60,11 @@ REGRESSION_THRESHOLD = 0.7
 # MIN_BATCHED_SPEEDUP gates the full per-trace-grouped scheduling win.
 MIN_BATCHED_SPEEDUP = 1.05
 
-# Model/config cross-product simulated back-to-back by the batched leg.
-BATCH_CONFIGS: tuple = ({}, {"store_buffer_entries": 8})
+# Model/config cross-product simulated back-to-back by the batched leg,
+# declared as a spec grid (the default 16-entry store buffer drops to an
+# empty spec; 8 entries is the second combination per model).
+BATCH_GRID = SpecGrid.create(tuple(ModelKind),
+                             {"core.store_buffer_entries": [16, 8]})
 
 DEFAULT_BASELINE_PATH = (Path(__file__).resolve().parents[3] / "benchmarks"
                          / "results" / "BENCH_hotloop_baseline.json")
@@ -169,25 +173,22 @@ def measure_batched(workloads: Iterable[str] = BENCH_WORKLOADS,
     from ..kernel.tracestore import run_trace_packed
     from ..kernel.precompute import TracePrecompute, bpred_signature
 
-    models = list(ModelKind)
     out: Dict[str, object] = {"workloads": {}, "configs_per_trace":
-                              len(models) * len(BATCH_CONFIGS)}
+                              len(BATCH_GRID)}
     total_unbatched = 0.0
     total_batched = 0.0
     identical = True
     for name in workloads:
         program = get_workload(name).build(_iterations(name, scale))
         packed = run_trace_packed(program)
-        matrix = [(model, overrides) for model in models
-                  for overrides in BATCH_CONFIGS]
+        matrix = BATCH_GRID.expand()
 
         best_unbatched = float("inf")
         unbatched_stats = None
         for _ in range(max(1, repeats)):
             start = time.perf_counter()
-            stats = [Simulator(program, packed,
-                               model_params(model, **overrides)).run()
-                     for model, overrides in matrix]
+            stats = [Simulator(program, packed, spec.to_params()).run()
+                     for spec in matrix]
             elapsed = time.perf_counter() - start
             if elapsed < best_unbatched:
                 best_unbatched = elapsed
@@ -198,12 +199,11 @@ def measure_batched(workloads: Iterable[str] = BENCH_WORKLOADS,
         for _ in range(max(1, repeats)):
             start = time.perf_counter()
             pre = TracePrecompute.build(
-                packed, bpred_signature(model_params(models[0])))
+                packed, bpred_signature(model_params(ModelKind.BASELINE)))
             cached = pre.cached_trace()
-            stats = [Simulator(program, cached,
-                               model_params(model, **overrides),
+            stats = [Simulator(program, cached, spec.to_params(),
                                precompute=pre).run()
-                     for model, overrides in matrix]
+                     for spec in matrix]
             elapsed = time.perf_counter() - start
             if elapsed < best_batched:
                 best_batched = elapsed

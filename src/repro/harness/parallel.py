@@ -46,6 +46,7 @@ from dataclasses import dataclass, field
 from multiprocessing.connection import wait as _conn_wait
 from typing import Callable, Dict, List, Optional, Tuple
 
+from ..config import ConfigSpec
 from ..obs.ledger import NULL_LEDGER
 from ..uarch import ModelKind
 from .resilience import FailedPoint, FaultInjector, RetryPolicy
@@ -53,11 +54,14 @@ from .resilience import FailedPoint, FaultInjector, RetryPolicy
 
 @dataclass(frozen=True)
 class SimPoint:
-    """One simulation configuration: a (workload, model, overrides) triple.
+    """One simulation configuration: a (workload, config spec) pair.
 
-    ``overrides`` is stored as a sorted tuple of (name, value) pairs so
-    points are hashable; build points with :func:`make_point` when starting
-    from a keyword dict.
+    ``overrides`` holds the spec's canonical settings -- sorted
+    ``(dotted-key, scalar)`` pairs, departures from the model's defaults
+    only -- so points are hashable and two constructions of the same
+    configuration compare equal.  Build points with :func:`make_point`
+    (legacy keyword overrides) or :func:`spec_point` (a ready
+    :class:`~repro.config.ConfigSpec`); both validate and canonicalise.
     """
 
     workload: str
@@ -65,13 +69,29 @@ class SimPoint:
     overrides: Tuple[Tuple[str, object], ...] = ()
 
     @property
+    def spec(self) -> ConfigSpec:
+        """The point's configuration as a ConfigSpec (re-canonicalised,
+        so even a hand-built point with legacy bare names resolves)."""
+        return ConfigSpec.from_overrides(self.model, **dict(self.overrides))
+
+    @property
     def override_dict(self) -> dict:
         return dict(self.overrides)
 
 
 def make_point(workload: str, model: ModelKind, **overrides) -> SimPoint:
-    return SimPoint(workload, model,
-                    tuple(sorted(overrides.items())))
+    """Build a validated point from legacy keyword overrides.
+
+    A typoed override name raises :class:`~repro.uarch.params.ConfigError`
+    here -- in the parent, before any worker spawns -- with a did-you-mean
+    hint; the stored settings are the spec's canonical form.
+    """
+    return spec_point(workload, ConfigSpec.from_overrides(model, **overrides))
+
+
+def spec_point(workload: str, spec: ConfigSpec) -> SimPoint:
+    """Build a point from a ready ConfigSpec."""
+    return SimPoint(workload, spec.model, spec.settings)
 
 
 @dataclass
@@ -178,10 +198,13 @@ def _run_task(task):
             except Exception:
                 pass    # the per-run path still works without a bundle
     out = []
-    for model, overrides in configs:
+    for model, settings in configs:
         start = time.perf_counter()
-        result = _WORKER_RUNNER.run(workload, model, **dict(overrides))
-        out.append((model, overrides, result,
+        # Settings are already canonical (the parent built the task from
+        # point specs), so the trusting constructor suffices.
+        result = _WORKER_RUNNER.run_spec(workload,
+                                         ConfigSpec(model, settings))
+        out.append((model, settings, result,
                     time.perf_counter() - start))
     return (workload, out,
             _WORKER_RUNNER.traces_generated - retraces_before,
@@ -230,7 +253,7 @@ def _worker_entry(conn, task, scale, task_fn=None) -> None:
 class _TaskState:
     """Supervision record for one in-flight or pending task."""
 
-    task: tuple    # (workload, blob path(s), [(model, overrides), ...])
+    task: tuple    # (workload, blob path(s), [(model, spec settings), ...])
     failures: int = 0                # attempts that have failed so far
     proc: object = None
     conn: object = None
@@ -293,10 +316,23 @@ class ParallelEngine:
         self.degraded = False
         if not points:
             return {}
+        # Task tuples carry canonical spec settings, never raw overrides
+        # dicts; ``origin`` maps each canonical config back to the exact
+        # point object the caller supplied (which may predate
+        # canonicalisation, e.g. a hand-built SimPoint with bare names).
         by_workload: Dict[str, List[Tuple[ModelKind, tuple]]] = {}
+        origin: Dict[Tuple[str, ModelKind, tuple], SimPoint] = {}
         for point in points:
-            by_workload.setdefault(point.workload, []).append(
-                (point.model, point.overrides))
+            if isinstance(point.model, ModelKind):
+                spec = point.spec
+                config = (spec.model, spec.settings)
+            else:
+                # Custom task_fn batches (e.g. the fuzz campaign) ride
+                # the engine with stand-in models; their configs pass
+                # through untouched.
+                config = (point.model, point.overrides)
+            by_workload.setdefault(point.workload, []).append(config)
+            origin[(point.workload,) + config] = point
         paths = self.trace_paths or {}
         tasks = [(workload, paths.get(workload), configs)
                  for workload, configs in sorted(by_workload.items())]
@@ -345,8 +381,9 @@ class ParallelEngine:
                             wall_seconds=round(
                                 time.monotonic() - state.started, 6),
                             pid=state.pid, **fields)
-            for model, overrides, result, seconds in outcomes:
-                point = SimPoint(workload, model, overrides)
+            for model, settings, result, seconds in outcomes:
+                point = origin.get((workload, model, settings),
+                                   SimPoint(workload, model, settings))
                 results[point] = (result, seconds)
                 if self.on_result is not None:
                     self.on_result(point, result, seconds)
@@ -381,10 +418,11 @@ class ParallelEngine:
                 ledger.emit("task.failed", task=state.workload,
                             attempts=state.failures, cause=kind,
                             detail=detail or None)
-            for model, overrides in state.task[2]:
+            for model, settings in state.task[2]:
+                point = origin.get((state.workload, model, settings),
+                                   SimPoint(state.workload, model, settings))
                 self.failures.append(FailedPoint(
-                    point=SimPoint(state.workload, model, overrides),
-                    kind=kind, detail=detail,
+                    point=point, kind=kind, detail=detail,
                     attempts=state.failures))
             self._say("  %s %-10s -- giving up after %d attempt%s"
                       % (kind, state.workload, state.failures,

@@ -28,6 +28,7 @@ import traceback
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from ..config import ConfigSpec, SpecGrid, describe_points
 from ..energy import EnergyReport, energy_report, energy_summary
 from ..isa import Program
 from ..kernel.precompute import (TracePrecompute, bpred_signature,
@@ -40,7 +41,7 @@ from ..workloads import ALL_NAMES, get_workload
 from .cache import (NullCache, NullPrecomputeStore, NullTraceStore,
                     PrecomputeStore, ResultCache, TraceStore, canonical)
 from .parallel import (BatchTiming, ParallelEngine, PointTiming, SimPoint,
-                       make_point)
+                       make_point, spec_point)
 from .resilience import BatchFailure, FailedPoint, RetryPolicy
 
 
@@ -56,15 +57,6 @@ class SimResult:
     @property
     def ipc(self) -> float:
         return self.stats.ipc
-
-
-def _freeze(value):
-    """Hashable form of a parameter override value."""
-    if isinstance(value, dict):
-        return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
-    if isinstance(value, (list, tuple)):
-        return tuple(_freeze(v) for v in value)
-    return value
 
 
 class ExperimentRunner:
@@ -339,14 +331,16 @@ class ExperimentRunner:
 
     # -- cache plumbing ------------------------------------------------------
 
-    def _memo_key(self, workload: str, model: ModelKind,
-                  overrides: dict) -> Tuple:
-        return (workload, model, _freeze(overrides))
+    def _memo_key(self, workload: str, spec: ConfigSpec) -> Tuple:
+        # The spec *is* the canonical configuration (validated, sorted,
+        # default-dropped), so memo and disk keys share one form: two
+        # constructions of the same parameters -- bare overrides, dotted
+        # --set flags, a grid expansion -- agree on both keys.
+        return (workload, spec)
 
-    def _disk_key(self, workload: str, model: ModelKind,
-                  overrides: dict) -> str:
-        return self.cache.key_for(workload, self.iterations(workload),
-                                  model, overrides)
+    def _disk_key(self, workload: str, spec: ConfigSpec) -> str:
+        return self.cache.key_for_spec(workload, self.iterations(workload),
+                                       spec)
 
     def _log_point(self, workload: str, model: ModelKind, seconds: float,
                    source: str, result=None, overrides=None) -> None:
@@ -371,9 +365,8 @@ class ExperimentRunner:
 
     # -- simulation ------------------------------------------------------------
 
-    def _simulate(self, workload: str, model: ModelKind,
-                  overrides: dict) -> SimResult:
-        params = model_params(model, **overrides)
+    def _simulate(self, workload: str, spec: ConfigSpec) -> SimResult:
+        params = spec.to_params()
         tracer = None
         if self.collect_metrics:
             from ..obs import MetricsTracer  # deferred: keeps import light
@@ -388,41 +381,56 @@ class ExperimentRunner:
             stats = Simulator(self.program(workload), self.trace(workload),
                               params, tracer=tracer).run()
         if tracer is not None:
-            self.metrics_log[self._memo_key(workload, model,
-                                            overrides)] = tracer.report()
-        return SimResult(workload=workload, model=model, stats=stats,
+            self.metrics_log[self._memo_key(workload,
+                                            spec)] = tracer.report()
+        return SimResult(workload=workload, model=spec.model, stats=stats,
                          energy=energy_report(stats, params.energy))
 
     def metrics_for(self, workload: str, model: ModelKind,
                     **overrides) -> Optional[Dict[str, object]]:
         """Structured metrics for a point simulated under
         ``collect_metrics=True`` (None when it was never simulated here)."""
-        return self.metrics_log.get(self._memo_key(workload, model,
-                                                   overrides))
+        spec = ConfigSpec.from_overrides(model, **overrides)
+        return self.metrics_log.get(self._memo_key(workload, spec))
 
     def run_traced(self, workload: str, model: ModelKind, tracer,
+                   spec: Optional[ConfigSpec] = None,
                    **overrides) -> SimResult:
         """Simulate one point with an explicit tracer attached.
 
         Always simulates (a cached result has no event stream); the stats
         are still pushed to the disk cache since tracing does not perturb
-        them."""
+        them.  Pass either a ready ``spec`` or legacy overrides."""
         start = time.perf_counter()
-        params = model_params(model, **overrides)
+        if spec is None:
+            spec = ConfigSpec.from_overrides(model, **overrides)
+        params = spec.to_params()
         stats = Simulator(self.program(workload), self.trace(workload),
                           params, tracer=tracer).run()
-        result = SimResult(workload=workload, model=model, stats=stats,
+        result = SimResult(workload=workload, model=spec.model, stats=stats,
                            energy=energy_report(stats, params.energy))
-        self.cache.put(self._disk_key(workload, model, overrides), result)
-        self._results[self._memo_key(workload, model, overrides)] = result
-        self._log_point(workload, model, time.perf_counter() - start, "sim",
-                        result=result, overrides=overrides)
+        self.cache.put(self._disk_key(workload, spec), result)
+        self._results[self._memo_key(workload, spec)] = result
+        self._log_point(workload, spec.model, time.perf_counter() - start,
+                        "sim", result=result,
+                        overrides=spec.setting_dict())
         return result
 
     def run(self, workload: str, model: ModelKind,
             **overrides) -> SimResult:
-        """Simulate one point; memoised in-process and on disk."""
-        key = self._memo_key(workload, model, overrides)
+        """Simulate one point; memoised in-process and on disk.
+
+        Thin wrapper: the overrides are validated and canonicalised into
+        a :class:`~repro.config.ConfigSpec` (a typo fails here with a
+        did-you-mean hint) and :meth:`run_spec` does the work.
+        """
+        return self.run_spec(workload,
+                             ConfigSpec.from_overrides(model, **overrides))
+
+    def run_spec(self, workload: str, spec: ConfigSpec) -> SimResult:
+        """Simulate one spec-described point; memoised in-process and on
+        disk (both keys derive from the spec's canonical form)."""
+        key = self._memo_key(workload, spec)
         cached = self._results.get(key)
         if cached is not None:
             return cached
@@ -431,17 +439,19 @@ class ExperimentRunner:
             # surface the recorded failure instead of re-simulating.
             raise BatchFailure([self._failed_keys[key]])
         start = time.perf_counter()
-        disk_key = self._disk_key(workload, model, overrides)
+        disk_key = self._disk_key(workload, spec)
         # Metrics collection needs a live simulation: skip the disk cache.
         result = None if self.collect_metrics else self.cache.get(disk_key)
         if result is not None:
-            self._log_point(workload, model, time.perf_counter() - start,
-                            "cache", result=result, overrides=overrides)
+            self._log_point(workload, spec.model,
+                            time.perf_counter() - start, "cache",
+                            result=result, overrides=spec.setting_dict())
         else:
-            result = self._simulate(workload, model, overrides)
+            result = self._simulate(workload, spec)
             self.cache.put(disk_key, result)
-            self._log_point(workload, model, time.perf_counter() - start,
-                            "sim", result=result, overrides=overrides)
+            self._log_point(workload, spec.model,
+                            time.perf_counter() - start, "sim",
+                            result=result, overrides=spec.setting_dict())
         self._results[key] = result
         return result
 
@@ -463,15 +473,14 @@ class ExperimentRunner:
         keeps everything that completed before it died.
         """
         timing.sim_seconds += seconds
-        overrides = point.override_dict
-        self.cache.put(
-            self._disk_key(point.workload, point.model, overrides), result)
-        key = self._memo_key(point.workload, point.model, overrides)
+        spec = point.spec
+        self.cache.put(self._disk_key(point.workload, spec), result)
+        key = self._memo_key(point.workload, spec)
         self._results[key] = result
         self._failed_keys.pop(key, None)
         out[point] = result
-        self._log_point(point.workload, point.model, seconds, "sim",
-                        result=result, overrides=overrides)
+        self._log_point(point.workload, spec.model, seconds, "sim",
+                        result=result, overrides=spec.setting_dict())
 
     def _simulate_with_retry(self, point: SimPoint,
                              publish) -> Optional[FailedPoint]:
@@ -482,14 +491,13 @@ class ExperimentRunner:
         budget is spent.  (No preemption in-process, so the policy's
         wall-clock timeout is not enforced here.)
         """
-        overrides = point.override_dict
+        spec = point.spec
         attempts = 0
         while True:
             attempts += 1
             start = time.perf_counter()
             try:
-                result = self._simulate(point.workload, point.model,
-                                        overrides)
+                result = self._simulate(point.workload, spec)
             except Exception:
                 detail = traceback.format_exc()
                 if attempts > self.policy.retries:
@@ -523,8 +531,13 @@ class ExperimentRunner:
         self.sweep_seq += 1
         sweep_id = self.sweep_seq
         if self.ledger.enabled:
+            # The grid payload records what this sweep *is* -- workloads,
+            # models, and every non-default setting axis -- so a ledger
+            # alone reconstructs the declared cross-product.
             self.ledger.emit("sweep.begin", sweep=sweep_id, jobs=self.jobs,
-                             submitted=len(points))
+                             submitted=len(points),
+                             grid=describe_points(
+                                 (p.workload, p.spec) for p in points))
         timing = BatchTiming(jobs=self.jobs)
         out: Dict[SimPoint, SimResult] = {}
         misses: List[SimPoint] = []
@@ -535,8 +548,8 @@ class ExperimentRunner:
                 continue
             seen.add(point)
             timing.points += 1
-            overrides = point.override_dict
-            key = self._memo_key(point.workload, point.model, overrides)
+            spec = point.spec
+            key = self._memo_key(point.workload, spec)
             cached = self._results.get(key)
             if cached is not None:
                 timing.memo_hits += 1
@@ -548,15 +561,15 @@ class ExperimentRunner:
                 failures.append(self._failed_keys[key])
                 continue
             start = time.perf_counter()
-            result = self.cache.get(
-                self._disk_key(point.workload, point.model, overrides))
+            result = self.cache.get(self._disk_key(point.workload, spec))
             if result is not None:
                 timing.cache_hits += 1
                 self._results[key] = result
                 out[point] = result
-                self._log_point(point.workload, point.model,
+                self._log_point(point.workload, spec.model,
                                 time.perf_counter() - start, "cache",
-                                result=result, overrides=overrides)
+                                result=result,
+                                overrides=spec.setting_dict())
             else:
                 misses.append(point)
 
@@ -633,8 +646,8 @@ class ExperimentRunner:
             self.failure_log.extend(fresh_failures)
             for failure in fresh_failures:
                 self._failed_keys[self._memo_key(
-                    failure.point.workload, failure.point.model,
-                    failure.point.override_dict)] = failure
+                    failure.point.workload,
+                    failure.point.spec)] = failure
             failures.extend(fresh_failures)
         timing.failed = len(failures)
         timing.traces_generated = self.traces_generated - traces_before
@@ -687,15 +700,21 @@ class ExperimentRunner:
 
     def run_suite(self, model: ModelKind,
                   workloads: Optional[Iterable[str]] = None,
+                  spec: Optional[ConfigSpec] = None,
                   **overrides) -> Dict[str, SimResult]:
         """Simulate one model across a workload list (default: all 21).
 
-        With ``keep_going`` the dict is partial: failed workloads are
-        absent (see :attr:`failure_log`) instead of raising.
+        Pass either a ready ``spec`` (whose model must match) or legacy
+        keyword overrides.  With ``keep_going`` the dict is partial:
+        failed workloads are absent (see :attr:`failure_log`) instead of
+        raising.
         """
+        if spec is None:
+            spec = ConfigSpec.from_overrides(model, **overrides)
+        elif overrides:
+            raise TypeError("run_suite: pass a spec or overrides, not both")
         names = list(workloads) if workloads is not None else list(ALL_NAMES)
-        points = {name: make_point(name, model, **overrides)
-                  for name in names}
+        points = {name: spec_point(name, spec) for name in names}
         resolved = self.run_batch(points.values())
         return {name: resolved[point] for name, point in points.items()
                 if point in resolved}
@@ -706,10 +725,25 @@ class ExperimentRunner:
         """Simulate several models across a workload list."""
         names = list(workloads) if workloads is not None else list(ALL_NAMES)
         models = list(models)
-        self.prefetch(make_point(name, model, **overrides)
-                      for model in models for name in names)
-        return {model: self.run_suite(model, names, **overrides)
-                for model in models}
+        specs = {model: ConfigSpec.from_overrides(model, **overrides)
+                 for model in models}
+        self.prefetch(spec_point(name, spec)
+                      for spec in specs.values() for name in names)
+        return {model: self.run_suite(model, names, spec=spec)
+                for model, spec in specs.items()}
+
+    def run_grid(self, grid: SpecGrid,
+                 workloads: Optional[Iterable[str]] = None
+                 ) -> Dict[SimPoint, SimResult]:
+        """Expand a declared spec grid across workloads and resolve it.
+
+        The cross-product is workload-major then grid order (the grid's
+        own expansion is deterministic), submitted as one batch so the
+        ledger's ``sweep.begin`` records the whole grid.
+        """
+        names = list(workloads) if workloads is not None else list(ALL_NAMES)
+        return self.run_batch(spec_point(name, spec)
+                              for name in names for spec in grid.expand())
 
     # -- accounting ----------------------------------------------------------
 

@@ -55,10 +55,11 @@ import time
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
+from ..config import ConfigSpec, SpecGrid
 from ..energy import energy_report
 from ..kernel import FunctionalCpu
 from ..kernel.trace import MAX_TRACE_INSTRUCTIONS
-from ..uarch import ModelKind, model_params
+from ..uarch import ModelKind
 from ..uarch.pipeline import Simulator
 from ..workloads import get_workload
 from .cache import NullCache, NullTraceStore, ResultCache, TraceStore
@@ -71,9 +72,12 @@ BENCH_WORKLOADS = ("mcf", "lbm")
 BENCH_MODELS = (ModelKind.BASELINE, ModelKind.NOSQ, ModelKind.DMDP,
                 ModelKind.PERFECT)
 
-# Two configurations per (workload, model): the sweep shape that makes
-# per-point re-tracing O(points) rather than O(workloads).
-BENCH_CONFIGS: Tuple[dict, ...] = ({}, {"store_buffer_entries": 8})
+# Two configurations per (workload, model) -- the default 16-entry store
+# buffer (which default-drops to an empty spec) and an 8-entry one: the
+# sweep shape that makes per-point re-tracing O(points) rather than
+# O(workloads).  Declared as a spec grid, expanded deterministically.
+BENCH_GRID = SpecGrid.create(BENCH_MODELS,
+                             {"core.store_buffer_entries": [16, 8]})
 
 # Scale used by ``--smoke`` (CI): same matrix, quarter iteration count.
 SMOKE_SCALE = 0.25
@@ -120,28 +124,28 @@ _LEG_DESCRIPTIONS = {
 }
 
 
-def bench_points() -> List[Tuple[str, ModelKind, dict]]:
-    return [(workload, model, config)
+def bench_points() -> List[Tuple[str, ConfigSpec]]:
+    """The benchmark matrix: workload-major over the grid's expansion."""
+    return [(workload, spec)
             for workload in BENCH_WORKLOADS
-            for model in BENCH_MODELS
-            for config in BENCH_CONFIGS]
+            for spec in BENCH_GRID.expand()]
 
 
-def _run_point_legacy(workload: str, model: ModelKind, overrides: dict,
+def _run_point_legacy(workload: str, spec: ConfigSpec,
                       scale: Optional[float]) -> float:
     """One pre-store point session: list trace, list-path simulation.
 
     Reproduces what a fresh worker did before the trace store existed,
     so the ``legacy`` leg is an honest baseline rather than a strawman.
     """
-    spec = get_workload(workload)
+    wspec = get_workload(workload)
     iterations = None
     if scale is not None:
-        iterations = max(1, int(round(spec.default_scale * scale)))
-    program = spec.build(iterations)
+        iterations = max(1, int(round(wspec.default_scale * scale)))
+    program = wspec.build(iterations)
     trace = FunctionalCpu(program).run_trace(
         max_instructions=MAX_TRACE_INSTRUCTIONS)
-    params = model_params(model, **overrides)
+    params = spec.to_params()
     stats = Simulator(program, trace, params).run()
     energy_report(stats, params.energy)
     return stats.ipc
@@ -187,9 +191,9 @@ def _run_leg(leg: str, scale: Optional[float],
     wall = float("inf")
     for attempt in range(max(1, repeats)):
         if leg == "batched":
-            from .parallel import make_point
-            points = [make_point(workload, model, **overrides)
-                      for workload, model, overrides in bench_points()]
+            from .parallel import spec_point
+            points = [spec_point(workload, spec)
+                      for workload, spec in bench_points()]
             start = time.perf_counter()
             runner = _leg_runner(scale, store_root, cache_root)
             resolved = runner.run_batch(points)
@@ -205,22 +209,23 @@ def _run_leg(leg: str, scale: Optional[float],
                      point.overrides)] = result.ipc
             continue
         start = time.perf_counter()
-        for workload, model, overrides in bench_points():
+        for workload, spec in bench_points():
             if leg == "legacy":
-                point_ipc = _run_point_legacy(workload, model, overrides,
-                                              scale)
+                point_ipc = _run_point_legacy(workload, spec, scale)
                 if attempt == 0:
                     traces += 1
                     simulated += 1
             else:
                 runner = _leg_runner(scale, store_root, cache_root)
-                point_ipc = runner.run(workload, model, **overrides).ipc
+                point_ipc = runner.run_spec(workload, spec).ipc
                 if attempt == 0:
                     traces += runner.functional_traces
                     loaded += runner.traces_loaded
                     simulated += runner.points_simulated()
-            ipc[(workload, model.value,
-                 tuple(sorted(overrides.items())))] = point_ipc
+            # Every leg keys its IPC map by the spec's canonical settings
+            # (the same key the batched leg's SimPoints carry), so the
+            # byte-identity assertion compares like with like.
+            ipc[(workload, spec.model.value, spec.settings)] = point_ipc
         wall = min(wall, time.perf_counter() - start)
     if progress is not None:
         progress("  leg %-10s %6.2fs  %2d traces  %2d sims"
@@ -254,10 +259,10 @@ def measure_ledger_overhead(scale: Optional[float], store_root: Path,
     enabled writer staying in the noise.
     """
     from ..obs.ledger import JsonlLedger
-    from .parallel import make_point
+    from .parallel import spec_point
 
-    points = [make_point(workload, model, **overrides)
-              for workload, model, overrides in bench_points()]
+    points = [spec_point(workload, spec)
+              for workload, spec in bench_points()]
     plain_wall = ledger_wall = float("inf")
     spans = 0
     with tempfile.TemporaryDirectory(prefix="repro-ledgerbench-") as tmp:
@@ -298,7 +303,8 @@ def _rss_probe_child(conn, mode: str, scale: Optional[float],
     import resource
     try:
         if mode == "legacy":
-            _run_point_legacy("mcf", ModelKind.DMDP, {}, scale)
+            _run_point_legacy("mcf", ConfigSpec.create(ModelKind.DMDP),
+                              scale)
         else:
             runner = _leg_runner(scale, Path(store_root), None)
             runner.run("mcf", ModelKind.DMDP)
@@ -370,7 +376,12 @@ def run_benchmark(smoke: bool = False, scale: Optional[float] = None,
         "scale": scale,
         "workloads": list(BENCH_WORKLOADS),
         "models": [model.value for model in BENCH_MODELS],
-        "configs": [dict(config) for config in BENCH_CONFIGS],
+        # Per-model setting combinations (one entry per grid row; the
+        # default combination canonicalises to {}), plus the declared
+        # grid itself for provenance.
+        "configs": [spec.setting_dict() for spec in BENCH_GRID.expand()
+                    if spec.model is BENCH_MODELS[0]],
+        "grid": BENCH_GRID.describe(),
         "points": len(points),
         "repeats": repeats,
         "calibration_seconds": round(calibrate(), 6),

@@ -61,9 +61,12 @@ SPAN_SCHEMA: Dict[str, Dict[str, frozenset]] = {
         "req": frozenset({"spans"}),
         "opt": frozenset(),
     },
+    # ``grid`` summarises the submitted cross-product (workloads, models,
+    # non-default setting axes, point count) as recorded by
+    # :func:`repro.config.describe_points`.
     "sweep.begin": {
         "req": frozenset({"sweep", "jobs", "submitted"}),
-        "opt": frozenset(),
+        "opt": frozenset({"grid"}),
     },
     "sweep.end": {
         "req": frozenset({"sweep", "points", "simulated", "memo_hits",

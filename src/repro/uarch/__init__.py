@@ -3,6 +3,7 @@
 from .params import (
     CacheParams,
     ConfidencePolicy,
+    ConfigError,
     Consistency,
     CoreParams,
     EnergyParams,
@@ -27,7 +28,8 @@ from .pipeline import SimulationError, Simulator, simulate
 from .models import ALL_MODELS, run_all_models, run_model, trace_program
 
 __all__ = [
-    "CacheParams", "ConfidencePolicy", "Consistency", "CoreParams",
+    "CacheParams", "ConfidencePolicy", "ConfigError", "Consistency",
+    "CoreParams",
     "EnergyParams", "ModelKind", "PredictorParams", "baseline_params",
     "model_params",
     "LoadKind", "LowConfOutcome", "SimStats", "SquashCause",

@@ -12,7 +12,26 @@ predictor 2 tables x 1K entries x 4-way, 7-bit confidence, threshold 64,
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
+
+
+class ConfigError(ValueError):
+    """An invalid simulator configuration: an unknown parameter name or an
+    out-of-range/ill-typed value.
+
+    Raised at *construction* time -- by :func:`model_params` /
+    :func:`baseline_params` for unknown override names, by the parameter
+    dataclasses' own ``__post_init__`` checks, and by the
+    :mod:`repro.config` spec layer -- so a typo fails fast with a
+    did-you-mean message instead of surfacing as a ``TypeError`` five
+    frames inside a worker process.  ``key`` names the offending field
+    (when there is one) and ``suggestions`` lists near-matches.
+    """
+
+    def __init__(self, message: str, key=None, suggestions=()):
+        super().__init__(message)
+        self.key = key
+        self.suggestions = tuple(suggestions)
 
 
 class ModelKind(enum.Enum):
@@ -52,6 +71,24 @@ class CacheParams:
     line_bytes: int = 64
     hit_latency: int = 4
 
+    def __post_init__(self):
+        for name in ("size_bytes", "assoc", "line_bytes", "hit_latency"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or isinstance(value, bool) \
+                    or value <= 0:
+                raise ConfigError(
+                    "cache %s must be a positive integer, got %r"
+                    % (name, value), key=name)
+        way_bytes = self.assoc * self.line_bytes
+        if self.size_bytes % way_bytes:
+            raise ConfigError(
+                "cache geometry %d B / (%d-way x %d B lines) leaves a "
+                "fractional set count (%d %% %d == %d); size_bytes must "
+                "be a multiple of assoc * line_bytes"
+                % (self.size_bytes, self.assoc, self.line_bytes,
+                   self.size_bytes, way_bytes, self.size_bytes % way_bytes),
+                key="size_bytes")
+
     @property
     def num_sets(self) -> int:
         return self.size_bytes // (self.assoc * self.line_bytes)
@@ -73,6 +110,26 @@ class PredictorParams:
     confidence_init: int = 64
     history_bits: int = 8
     max_distance: int = 63             # 6-bit distance field
+
+    def __post_init__(self):
+        for name in ("tssbf_entries", "tssbf_assoc", "distance_entries",
+                     "distance_assoc", "confidence_bits"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or isinstance(value, bool) \
+                    or value <= 0:
+                raise ConfigError(
+                    "predictor %s must be a positive integer, got %r"
+                    % (name, value), key=name)
+        ceiling = (1 << self.confidence_bits) - 1
+        for name in ("confidence_threshold", "confidence_init"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or isinstance(value, bool) \
+                    or not 0 <= value <= ceiling:
+                raise ConfigError(
+                    "predictor %s must lie in [0, %d] for a %d-bit "
+                    "confidence counter, got %r"
+                    % (name, ceiling, self.confidence_bits, value),
+                    key=name)
 
 
 @dataclass(frozen=True)
@@ -186,12 +243,45 @@ class CoreParams:
         return replace(self, model=model, confidence_policy=policy)
 
 
+_CORE_FIELD_NAMES = None
+
+
+def _check_override_names(overrides) -> None:
+    """Reject unknown override names with a did-you-mean ConfigError.
+
+    Before this check, a typo surfaced as a bare ``TypeError`` from
+    ``dataclasses.replace`` (often deep inside a worker process), or --
+    worse -- silently landed on a valid field of a different dataclass.
+    The suggestion text comes from the config-space registry (imported
+    lazily: the registry itself imports this module).
+    """
+    global _CORE_FIELD_NAMES
+    if _CORE_FIELD_NAMES is None:
+        _CORE_FIELD_NAMES = frozenset(f.name for f in fields(CoreParams))
+    unknown = sorted(k for k in overrides if k not in _CORE_FIELD_NAMES)
+    if not unknown:
+        return
+    from ..config.registry import suggest_overrides
+    hint, suggestions = suggest_overrides(unknown)
+    raise ConfigError(
+        "unknown parameter override%s %s%s"
+        % ("s" if len(unknown) > 1 else "",
+           ", ".join(repr(name) for name in unknown), hint),
+        key=unknown[0], suggestions=suggestions)
+
+
 def baseline_params(**overrides) -> CoreParams:
     """The paper's 8-wide baseline configuration, with optional overrides."""
-    return replace(CoreParams(), **overrides) if overrides else CoreParams()
+    if not overrides:
+        return CoreParams()
+    _check_override_names(overrides)
+    return replace(CoreParams(), **overrides)
 
 
 def model_params(model: ModelKind, **overrides) -> CoreParams:
     """Canonical parameters for one of the four evaluated models."""
     params = CoreParams().with_model(model)
-    return replace(params, **overrides) if overrides else params
+    if not overrides:
+        return params
+    _check_override_names(overrides)
+    return replace(params, **overrides)

@@ -258,11 +258,11 @@ class TestEngineRobustness:
         real = ExperimentRunner._simulate
         calls = {"n": 0}
 
-        def flaky(self, workload, model, overrides):
+        def flaky(self, workload, spec):
             calls["n"] += 1
             if calls["n"] == 1:
                 raise RuntimeError("transient")
-            return real(self, workload, model, overrides)
+            return real(self, workload, spec)
 
         monkeypatch.setattr(ExperimentRunner, "_simulate", flaky)
         results = runner.run_batch(POINTS[:1])
@@ -273,7 +273,7 @@ class TestEngineRobustness:
         runner = runner_with(tmp_path, jobs=1, keep_going=True,
                              policy=RetryPolicy(retries=1, backoff=0.0))
 
-        def broken(self, workload, model, overrides):
+        def broken(self, workload, spec):
             raise RuntimeError("permanent")
 
         monkeypatch.setattr(ExperimentRunner, "_simulate", broken)
